@@ -1,0 +1,99 @@
+// Command sbexec is a Snowboard execution worker: it connects to an
+// sbqueue coordinator, pops concurrent-test jobs, explores each with the
+// PMC-hinted scheduler, and reports findings back. Run one per core or per
+// machine, as the paper distributes testing across its machine-B fleet.
+//
+// Usage:
+//
+//	sbexec -addr 127.0.0.1:7070 [-version 5.12-rc3] [-trials 64]
+//	       [-name worker-1] [-idle-exit 5s]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"snowboard"
+	"snowboard/internal/detect"
+	"snowboard/internal/queue"
+	"snowboard/internal/sched"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "queue coordinator address")
+		version  = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version")
+		trials   = flag.Int("trials", 64, "interleaving trials per test")
+		name     = flag.String("name", hostDefault(), "worker name in reports")
+		idleExit = flag.Duration("idle-exit", 5*time.Second, "exit after this long with an empty queue")
+	)
+	flag.Parse()
+
+	client, err := queue.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	env := snowboard.NewEnv(snowboard.Version(*version))
+	x := &snowboard.Explorer{
+		Env:    env,
+		Trials: *trials,
+		Mode:   snowboard.ModeSnowboard,
+		Detect: detect.DefaultOptions(),
+		Fsck:   func() []string { return env.K.FsckHost() },
+	}
+
+	jobs, idleSince := 0, time.Now()
+	for {
+		job, err := client.Pop()
+		switch {
+		case errors.Is(err, queue.ErrEmpty):
+			if time.Since(idleSince) > *idleExit {
+				fmt.Printf("%s: queue idle, processed %d jobs, exiting\n", *name, jobs)
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+			continue
+		case errors.Is(err, queue.ErrClosed):
+			fmt.Printf("%s: queue closed, processed %d jobs\n", *name, jobs)
+			return
+		case err != nil:
+			log.Fatal(err)
+		}
+		idleSince = time.Now()
+		jobs++
+
+		x.Seed = int64(job.ID)*1009 + 1
+		out := x.Explore(sched.ConcurrentTest{
+			Writer: job.Writer, Reader: job.Reader, Hint: job.Hint, Pair: job.Pair,
+		})
+		res := queue.JobResult{
+			JobID:     job.ID,
+			Trials:    out.Trials,
+			Exercised: out.Exercised,
+			Worker:    *name,
+		}
+		for _, is := range out.Issues {
+			res.IssueIDs = append(res.IssueIDs, is.ID())
+			if is.BugID != 0 {
+				res.BugIDs = append(res.BugIDs, is.BugID)
+			}
+		}
+		if err := client.Report(res); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func hostDefault() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "worker"
+	}
+	return h
+}

@@ -1,0 +1,105 @@
+// Command sbqueue is the coordinator of a distributed Snowboard run
+// (§4.4.1's lightweight distributed queue): it builds the corpus, profiles
+// it, identifies and clusters PMCs, enqueues the generated concurrent
+// tests on a TCP queue, and aggregates results reported by sbexec workers.
+//
+// Usage:
+//
+//	sbqueue [-addr 127.0.0.1:7070] [-version 5.12-rc3] [-method S-INS-PAIR]
+//	        [-seed 1] [-fuzz 400] [-corpus 120] [-tests 200] [-wait 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"snowboard"
+	"snowboard/internal/queue"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		version = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version")
+		method  = flag.String("method", "S-INS-PAIR", "generation method")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		fuzzN   = flag.Int("fuzz", 400, "sequential fuzzing executions")
+		corpusN = flag.Int("corpus", 120, "corpus size cap")
+		tests   = flag.Int("tests", 200, "concurrent tests to enqueue")
+		wait    = flag.Duration("wait", 30*time.Second, "how long to wait for workers after the queue drains")
+	)
+	flag.Parse()
+
+	opts := snowboard.DefaultOptions()
+	opts.Version = snowboard.Version(*version)
+	opts.Seed = *seed
+	opts.FuzzBudget = *fuzzN
+	opts.CorpusCap = *corpusN
+	m, ok := snowboard.MethodByName(*method)
+	if !ok {
+		log.Fatalf("unknown method %q", *method)
+	}
+	opts.Method = m
+
+	p := snowboard.NewPipeline(opts)
+	r := p.NewReport()
+	p.BuildCorpus(r)
+	if err := p.ProfileAll(r); err != nil {
+		log.Fatal(err)
+	}
+	p.IdentifyPMCs(r)
+	cts := p.GenerateTests(r, *tests)
+	fmt.Printf("corpus=%d pmcs=%d generated=%d concurrent tests\n", r.CorpusSize, r.DistinctPMCs, len(cts))
+
+	q := queue.New()
+	srv, err := queue.Serve(q, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("queue listening on %s — start workers with:\n  sbexec -addr %s -version %s\n",
+		srv.Addr(), srv.Addr(), *version)
+
+	for i, ct := range cts {
+		job := queue.Job{ID: i, Writer: ct.Writer, Reader: ct.Reader, Hint: ct.Hint, Pair: ct.Pair}
+		if err := q.Push(job); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Wait for the queue to drain, then give workers time to report.
+	for q.Len() > 0 {
+		time.Sleep(200 * time.Millisecond)
+	}
+	deadline := time.Now().Add(*wait)
+	done := make(map[int]bool)
+	found := make(map[int]bool)
+	exercised := 0
+	for time.Now().Before(deadline) && len(done) < len(cts) {
+		for _, res := range q.Results() {
+			done[res.JobID] = true
+			if res.Exercised {
+				exercised++
+			}
+			for _, id := range res.BugIDs {
+				found[id] = true
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	fmt.Printf("\n%d/%d jobs reported, %d exercised their PMC channel\n", len(done), len(cts), exercised)
+	ids := make([]int, 0, len(found))
+	for id := range found {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("issues found (Table 2 numbers): %v\n", ids)
+	if len(done) < len(cts) {
+		fmt.Fprintln(os.Stderr, "warning: some jobs never reported; workers may still be running")
+	}
+}

@@ -1,0 +1,82 @@
+// Command sbrepro deterministically replays a saved reproduction bundle
+// (§6 "Bug Diagnosis and Deterministic Reproduction"): it boots the matching
+// simulated kernel, re-executes the recorded bug-exposing trial, and prints
+// the kernel console plus the two-column interleaving diagnosis around the
+// PMC.
+//
+// Usage:
+//
+//	sbrepro -bundle finding.json [-quiet]
+//
+// Bundles are produced by cmd/snowboard's -repro-dir flag or by callers of
+// the library's Explore + SaveBundle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"snowboard"
+	"snowboard/internal/detect"
+	"snowboard/internal/diagnose"
+	"snowboard/internal/sched"
+	"snowboard/internal/trace"
+)
+
+func main() {
+	var (
+		path  = flag.String("bundle", "", "path to the reproduction bundle (JSON)")
+		quiet = flag.Bool("quiet", false, "suppress the interleaving diagram")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	b, err := sched.LoadBundle(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %s (kernel %s", *path, b.Version)
+	if b.BugID != 0 {
+		fmt.Printf(", Table 2 issue #%d", b.BugID)
+	}
+	fmt.Println(")")
+
+	env := snowboard.NewEnv(b.Version)
+	var tr trace.Trace
+	res := sched.Replay(env, sched.ConcurrentTest{Writer: b.Writer, Reader: b.Reader, Hint: b.Hint}, b.State, &tr)
+	env.M.SetTrace(nil)
+
+	issues := detect.Analyze(detect.TrialInput{
+		Console:  res.Console,
+		Trace:    &tr,
+		PostScan: env.K.FsckHost(),
+		Hung:     res.Hung,
+		Deadlock: res.Deadlock,
+	}, detect.DefaultOptions())
+
+	fmt.Println("\nguest console:")
+	for _, l := range res.Console {
+		fmt.Printf("  %s\n", l)
+	}
+	fmt.Println("\nfindings:")
+	for _, is := range issues {
+		fmt.Printf("  [%s] %s", is.Kind, is.Desc)
+		if is.BugID != 0 {
+			fmt.Printf("  (Table 2 issue #%d)", is.BugID)
+		}
+		fmt.Println()
+	}
+	if !*quiet {
+		fmt.Println()
+		fmt.Println(diagnose.Render(&tr, b.Hint, issues, diagnose.DefaultOptions()))
+	}
+	if !res.Crashed() && detect.Harmless(issues) {
+		fmt.Fprintln(os.Stderr, "warning: replay surfaced no harmful finding — bundle may be stale")
+		os.Exit(1)
+	}
+}

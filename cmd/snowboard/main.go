@@ -1,0 +1,178 @@
+// Command snowboard runs the full testing pipeline — sequential fuzzing,
+// profiling, PMC identification, clustering, and PMC-hinted concurrent
+// exploration — against the simulated kernel, and prints a Table 3-style
+// report.
+//
+// Usage:
+//
+//	snowboard [-version 5.12-rc3] [-method S-INS-PAIR] [-seed 1]
+//	          [-fuzz 400] [-corpus 120] [-tests 60] [-trials 16]
+//	          [-compare] [-v]
+//
+// With -compare, every generation method of the paper's Table 3 runs on
+// the same profiled corpus and one row is printed per method.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"snowboard"
+	"snowboard/internal/sched"
+)
+
+func main() {
+	var (
+		version  = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version (5.3.10 or 5.12-rc3)")
+		method   = flag.String("method", "S-INS-PAIR", "generation method (Table 1 strategy, 'Random S-INS-PAIR', 'Random pairing', 'Duplicate pairing')")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		fuzzN    = flag.Int("fuzz", 400, "sequential fuzzing executions")
+		corpusN  = flag.Int("corpus", 120, "corpus size cap")
+		tests    = flag.Int("tests", 60, "concurrent tests to execute")
+		trials   = flag.Int("trials", 16, "interleaving trials per concurrent test")
+		compare  = flag.Bool("compare", false, "run every Table 3 method on one shared corpus")
+		verbose  = flag.Bool("v", false, "verbose per-issue output")
+		reproDir = flag.String("repro-dir", "", "write reproduction bundles for crash-level findings here")
+	)
+	flag.Parse()
+
+	opts := snowboard.DefaultOptions()
+	switch *version {
+	case string(snowboard.V5_3_10):
+		opts.Version = snowboard.V5_3_10
+	case string(snowboard.V5_12_RC3):
+		opts.Version = snowboard.V5_12_RC3
+	default:
+		fmt.Fprintf(os.Stderr, "snowboard: unknown kernel version %q\n", *version)
+		os.Exit(2)
+	}
+	opts.Seed = *seed
+	opts.FuzzBudget = *fuzzN
+	opts.CorpusCap = *corpusN
+	opts.TestBudget = *tests
+	opts.Trials = *trials
+
+	if *compare {
+		runComparison(opts, *verbose)
+		return
+	}
+
+	m, ok := snowboard.MethodByName(*method)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "snowboard: unknown method %q; known methods:\n", *method)
+		for _, mm := range snowboard.Methods() {
+			fmt.Fprintf(os.Stderr, "  %s\n", mm.Name)
+		}
+		os.Exit(2)
+	}
+	opts.Method = m
+
+	report, err := snowboard.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snowboard: %v\n", err)
+		os.Exit(1)
+	}
+	printReport(report, *verbose)
+	if *reproDir != "" {
+		writeBundles(report, opts.Version, *reproDir)
+	}
+}
+
+// writeBundles saves a reproduction bundle per crash-level finding that
+// recorded a replayable trial.
+func writeBundles(r *snowboard.Report, version snowboard.Version, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "snowboard: %v\n", err)
+		return
+	}
+	for id, rec := range r.Issues {
+		if rec.Repro == nil {
+			continue
+		}
+		b := &sched.ReproBundle{
+			Version: version,
+			Writer:  rec.Test.Writer,
+			Reader:  rec.Test.Reader,
+			Hint:    rec.Test.Hint,
+			State:   rec.Repro,
+			Finding: rec.Issue.Desc,
+			BugID:   id,
+		}
+		path := filepath.Join(dir, fmt.Sprintf("issue-%02d.json", id))
+		if err := sched.SaveBundle(path, b); err != nil {
+			fmt.Fprintf(os.Stderr, "snowboard: bundle for #%d: %v\n", id, err)
+			continue
+		}
+		fmt.Printf("  repro bundle written: %s (replay with: sbrepro -bundle %s)\n", path, path)
+	}
+}
+
+func printReport(r *snowboard.Report, verbose bool) {
+	fmt.Printf("kernel %s, method %s\n", r.Version, r.Method)
+	fmt.Printf("  corpus: %d tests (%d fuzz executions), %d shared accesses profiled in %v\n",
+		r.CorpusSize, r.FuzzExecutions, r.ProfiledAccesses, r.ProfileTime)
+	fmt.Printf("  PMCs: %d distinct keys / %d combinations identified in %v\n",
+		r.DistinctPMCs, r.PMCCombinations, r.IdentifyTime)
+	fmt.Printf("  clusters (exemplar PMCs): %d\n", r.ExemplarPMCs)
+	fmt.Printf("  executed: %d concurrent tests (%d trials, %d switches) in %v\n",
+		r.TestedTests, r.TrialsRun, r.Switches, r.ExecTime)
+	fmt.Printf("  PMC accuracy: %d/%d = %.0f%% of hinted tests exercised their channel\n",
+		r.Exercised, r.TestedPMCs, 100*r.Accuracy())
+	fmt.Printf("  concurrency coverage: %d alias instruction pairs\n", r.CoverPairs)
+	ids := r.BugIDs()
+	fmt.Printf("  issues found: %v\n", ids)
+	if verbose {
+		printIssues(r)
+	}
+}
+
+func printIssues(r *snowboard.Report) {
+	ids := r.BugIDs()
+	sort.Ints(ids)
+	for _, id := range ids {
+		rec := r.Issues[id]
+		fmt.Printf("    #%-2d after %3d tests (trial %2d): [%s] %s\n",
+			id, rec.TestIndex, rec.Trial, rec.Issue.Kind, rec.Issue.Desc)
+	}
+	for _, u := range r.Unknown {
+		fmt.Printf("    UNCLASSIFIED: [%s] %s\n", u.Kind, u.Desc)
+	}
+}
+
+func runComparison(base snowboard.Options, verbose bool) {
+	fmt.Printf("Table 3 comparison, kernel %s, %d tests x %d trials per method\n\n",
+		base.Version, base.TestBudget, base.Trials)
+	fmt.Printf("%-20s %12s %10s %10s  %s\n", "Method", "Exemplars", "Tested", "Exercised", "Issues (test# found)")
+	for _, m := range snowboard.Methods() {
+		opts := base
+		opts.Method = m
+		r, err := snowboard.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snowboard: %s: %v\n", m.Name, err)
+			continue
+		}
+		fmt.Printf("%-20s %12d %10d %10d  %s\n", r.Method, r.ExemplarPMCs, r.TestedTests, r.Exercised, issueSummary(r))
+		if verbose {
+			printIssues(r)
+		}
+	}
+}
+
+func issueSummary(r *snowboard.Report) string {
+	ids := r.BugIDs()
+	sort.Ints(ids)
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("#%d(%d)", id, r.Issues[id].TestIndex)
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+// distributed demonstrates the §4.4.1 deployment shape: a coordinator
+// generates concurrent tests and serves them over the lightweight TCP
+// queue; worker goroutines (each owning its own simulated kernel, like the
+// paper's machine-B fleet) pop jobs, explore interleavings, and report
+// findings back. In production the workers would be separate processes on
+// separate machines (see cmd/sbqueue and cmd/sbexec).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"snowboard"
+	"snowboard/internal/detect"
+	"snowboard/internal/queue"
+	"snowboard/internal/sched"
+)
+
+func main() {
+	// Coordinator: corpus -> profiles -> PMCs -> concurrent tests.
+	opts := snowboard.DefaultOptions()
+	opts.Seed = 3
+	opts.FuzzBudget = 500
+	opts.CorpusCap = 120
+	p := snowboard.NewPipeline(opts)
+	r := p.NewReport()
+	p.BuildCorpus(r)
+	if err := p.ProfileAll(r); err != nil {
+		log.Fatal(err)
+	}
+	p.IdentifyPMCs(r)
+	tests := p.GenerateTests(r, 48)
+	fmt.Printf("coordinator: %d tests from %d PMCs (%d clusters)\n",
+		len(tests), r.DistinctPMCs, r.ExemplarPMCs)
+
+	q := snowboard.NewQueue()
+	srv, err := queue.Serve(q, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i, ct := range tests {
+		if err := q.Push(queue.Job{ID: i, Writer: ct.Writer, Reader: ct.Reader, Hint: ct.Hint, Pair: ct.Pair}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Fleet: four workers over TCP, each with a private simulated kernel.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := queue.Dial(srv.Addr())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer c.Close()
+			env := snowboard.NewEnv(opts.Version)
+			x := &snowboard.Explorer{
+				Env: env, Trials: 12, Mode: snowboard.ModeSnowboard,
+				Detect: detect.DefaultOptions(),
+				Fsck:   func() []string { return env.K.FsckHost() },
+			}
+			for {
+				job, err := c.Pop()
+				if errors.Is(err, queue.ErrEmpty) || errors.Is(err, queue.ErrClosed) {
+					return
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				x.Seed = int64(job.ID)*1009 + 1
+				out := x.Explore(sched.ConcurrentTest{
+					Writer: job.Writer, Reader: job.Reader, Hint: job.Hint, Pair: job.Pair,
+				})
+				res := queue.JobResult{JobID: job.ID, Trials: out.Trials, Exercised: out.Exercised, Worker: fmt.Sprintf("worker-%d", id)}
+				for _, is := range out.Issues {
+					if is.BugID != 0 {
+						res.BugIDs = append(res.BugIDs, is.BugID)
+					}
+				}
+				if err := c.Report(res); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Aggregate.
+	found := make(map[int]bool)
+	exercised, trials := 0, 0
+	byWorker := make(map[string]int)
+	for _, res := range q.Results() {
+		trials += res.Trials
+		if res.Exercised {
+			exercised++
+		}
+		for _, id := range res.BugIDs {
+			found[id] = true
+		}
+		byWorker[res.Worker]++
+	}
+	fmt.Printf("fleet: %d trials total, %d/%d tests exercised their channel\n", trials, exercised, len(tests))
+	for w := 0; w < 4; w++ {
+		name := fmt.Sprintf("worker-%d", w)
+		fmt.Printf("  %s handled %d jobs\n", name, byWorker[name])
+	}
+	ids := make([]int, 0, len(found))
+	for id := range found {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("issues found across the fleet (Table 2 numbers): %v\n", ids)
+}

@@ -1,0 +1,3 @@
+module snowboard
+
+go 1.22

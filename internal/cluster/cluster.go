@@ -1,0 +1,230 @@
+// Package cluster implements the PMC selection stage (§4.3): the eight
+// clustering strategies of Table 1, the Random S-INS-PAIR ablation, and the
+// uncommon-first exemplar ordering. A clustering strategy is a clustering
+// key plus a filter; PMCs sharing a key land in one cluster, filtered
+// clusters are discarded wholesale, and one exemplar per cluster is tested
+// from the least to the most populous cluster.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"snowboard/internal/pmc"
+)
+
+// Strategy is one clustering strategy: a name, a key function, and a filter
+// predicate over PMC features.
+type Strategy struct {
+	Name   string
+	Key    func(p pmc.PMC) string
+	Filter func(p pmc.PMC) bool
+	// MultiKey, when non-nil, supersedes Key and maps a PMC to several
+	// clusters (used by S-INS, which clusters on the write instruction and
+	// on the read instruction independently).
+	MultiKey func(p pmc.PMC) []string
+}
+
+func keyOf(insW, insR bool, addrW, addrR bool, byteW, byteR bool, valW, valR bool) func(pmc.PMC) string {
+	return func(p pmc.PMC) string {
+		s := ""
+		if insW {
+			s += fmt.Sprintf("iw%x;", uint32(p.Write.Ins))
+		}
+		if addrW {
+			s += fmt.Sprintf("aw%x;", p.Write.Addr)
+		}
+		if byteW {
+			s += fmt.Sprintf("bw%d;", p.Write.Size)
+		}
+		if valW {
+			s += fmt.Sprintf("vw%x;", p.Write.Val)
+		}
+		if insR {
+			s += fmt.Sprintf("ir%x;", uint32(p.Read.Ins))
+		}
+		if addrR {
+			s += fmt.Sprintf("ar%x;", p.Read.Addr)
+		}
+		if byteR {
+			s += fmt.Sprintf("br%d;", p.Read.Size)
+		}
+		if valR {
+			s += fmt.Sprintf("vr%x;", p.Read.Val)
+		}
+		return s
+	}
+}
+
+func always(pmc.PMC) bool { return true }
+
+// The strategies of Table 1.
+var (
+	// SFull clusters on every feature: only identical PMCs share a cluster.
+	SFull = Strategy{
+		Name:   "S-FULL",
+		Key:    keyOf(true, true, true, true, true, true, true, true),
+		Filter: always,
+	}
+	// SCh (Channel) ignores the read/written values.
+	SCh = Strategy{
+		Name:   "S-CH",
+		Key:    keyOf(true, true, true, true, true, true, false, false),
+		Filter: always,
+	}
+	// SChNull keeps only channels whose write value is all zero (object
+	// nullification).
+	SChNull = Strategy{
+		Name:   "S-CH-NULL",
+		Key:    keyOf(true, true, true, true, true, true, false, false),
+		Filter: func(p pmc.PMC) bool { return p.Write.Val == 0 },
+	}
+	// SChUnaligned keeps channels whose write and read ranges differ.
+	SChUnaligned = Strategy{
+		Name: "S-CH-UNALIGNED",
+		Key:  keyOf(true, true, true, true, true, true, false, false),
+		Filter: func(p pmc.PMC) bool {
+			return p.Read.Addr != p.Write.Addr || p.Read.Size != p.Write.Size
+		},
+	}
+	// SChDouble keeps channels whose read is a double-fetch leader.
+	SChDouble = Strategy{
+		Name:   "S-CH-DOUBLE",
+		Key:    keyOf(true, true, true, true, true, true, false, false),
+		Filter: func(p pmc.PMC) bool { return p.DFLeader },
+	}
+	// SIns clusters solely on an instruction address — once for the write
+	// side and once for the read side (the "strategy pair" of §4.3).
+	SIns = Strategy{
+		Name:   "S-INS",
+		Filter: always,
+		MultiKey: func(p pmc.PMC) []string {
+			return []string{
+				fmt.Sprintf("w%x", uint32(p.Write.Ins)),
+				fmt.Sprintf("r%x", uint32(p.Read.Ins)),
+			}
+		},
+	}
+	// SInsPair clusters on the write/read instruction pair.
+	SInsPair = Strategy{
+		Name:   "S-INS-PAIR",
+		Key:    keyOf(true, true, false, false, false, false, false, false),
+		Filter: always,
+	}
+	// SMem clusters on the memory ranges only.
+	SMem = Strategy{
+		Name:   "S-MEM",
+		Key:    keyOf(false, false, true, true, true, true, false, false),
+		Filter: always,
+	}
+)
+
+// Strategies lists the eight Table 1 strategies in the paper's order.
+var Strategies = []Strategy{SFull, SCh, SChNull, SChUnaligned, SChDouble, SIns, SInsPair, SMem}
+
+// ByName resolves a strategy by its Table 1 name.
+func ByName(name string) (Strategy, bool) {
+	for _, s := range Strategies {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Strategy{}, false
+}
+
+// Cluster is one group of equivalent PMCs under a strategy.
+type Cluster struct {
+	Key  string
+	PMCs []pmc.PMC // the member PMC keys
+	// Weight is the total pair combinations across members, used as the
+	// cardinality for uncommon-first ordering.
+	Weight int64
+}
+
+// Clusters groups the PMC set under the strategy, dropping filtered PMCs.
+func Clusters(set *pmc.Set, s Strategy) []Cluster {
+	byKey := make(map[string]*Cluster)
+	add := func(key string, e *pmc.Entry) {
+		c := byKey[key]
+		if c == nil {
+			c = &Cluster{Key: key}
+			byKey[key] = c
+		}
+		c.PMCs = append(c.PMCs, e.PMC)
+		c.Weight += e.PairCount
+	}
+	for _, e := range set.Entries {
+		if !s.Filter(e.PMC) {
+			continue
+		}
+		if s.MultiKey != nil {
+			for _, k := range s.MultiKey(e.PMC) {
+				add(k, e)
+			}
+		} else {
+			add(s.Key(e.PMC), e)
+		}
+	}
+	out := make([]Cluster, 0, len(byKey))
+	for _, c := range byKey {
+		sort.Slice(c.PMCs, func(i, j int) bool { return pmcLess(c.PMCs[i], c.PMCs[j]) })
+		out = append(out, *c)
+	}
+	// Deterministic base order before cardinality sorting.
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func pmcLess(a, b pmc.PMC) bool {
+	if a.Write != b.Write {
+		return keyLess(a.Write, b.Write)
+	}
+	return keyLess(a.Read, b.Read)
+}
+
+func keyLess(a, b pmc.Key) bool {
+	if a.Ins != b.Ins {
+		return a.Ins < b.Ins
+	}
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	if a.Size != b.Size {
+		return a.Size < b.Size
+	}
+	return a.Val < b.Val
+}
+
+// Order arranges clusters for exemplar selection.
+type Order uint8
+
+// Cluster orderings.
+const (
+	// UncommonFirst tests the least populous cluster first (§4.3).
+	UncommonFirst Order = iota
+	// RandomOrder shuffles clusters (the Random S-INS-PAIR ablation).
+	RandomOrder
+)
+
+// OrderClusters sorts (or shuffles) the clusters in place per the order.
+func OrderClusters(cs []Cluster, o Order, rng *rand.Rand) {
+	switch o {
+	case UncommonFirst:
+		sort.SliceStable(cs, func(i, j int) bool {
+			if cs[i].Weight != cs[j].Weight {
+				return cs[i].Weight < cs[j].Weight
+			}
+			return cs[i].Key < cs[j].Key
+		})
+	case RandomOrder:
+		rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+	}
+}
+
+// Exemplar draws one member PMC from the cluster at random (§4.4: "one PMC
+// is chosen from each cluster ... one pair is chosen among them at
+// random").
+func Exemplar(c *Cluster, rng *rand.Rand) pmc.PMC {
+	return c.PMCs[rng.Intn(len(c.PMCs))]
+}

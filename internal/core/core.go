@@ -1,0 +1,182 @@
+// Package core orchestrates the four-stage Snowboard pipeline of Figure 2:
+// sequential test generation and profiling (§4.1), PMC identification
+// (§4.2), PMC selection via clustering (§4.3), and concurrent test
+// execution with PMC scheduling hints (§4.4). It also implements the
+// baseline generation methods of Table 3 (Random S-INS-PAIR, Random
+// pairing, Duplicate pairing) and produces per-method reports in that
+// table's shape.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"snowboard/internal/cluster"
+	"snowboard/internal/detect"
+	"snowboard/internal/kernel"
+	"snowboard/internal/pmc"
+	"snowboard/internal/sched"
+)
+
+// MethodKind distinguishes PMC-guided generation from the baselines.
+type MethodKind uint8
+
+// Method kinds.
+const (
+	// MethodPMC generates tests from clustered PMC exemplars.
+	MethodPMC MethodKind = iota
+	// MethodRandomPairing pairs two random corpus tests with no hint.
+	MethodRandomPairing
+	// MethodDuplicatePairing pairs a random corpus test with itself.
+	MethodDuplicatePairing
+)
+
+// Method is one concurrent test generation method — a Table 3 row.
+type Method struct {
+	Name     string
+	Kind     MethodKind
+	Strategy cluster.Strategy // valid when Kind == MethodPMC
+	Order    cluster.Order    // cluster ordering for MethodPMC
+}
+
+// Methods lists the eleven generation methods evaluated in Table 3.
+func Methods() []Method {
+	var out []Method
+	for _, s := range cluster.Strategies {
+		out = append(out, Method{Name: s.Name, Kind: MethodPMC, Strategy: s, Order: cluster.UncommonFirst})
+	}
+	out = append(out,
+		Method{Name: "Random S-INS-PAIR", Kind: MethodPMC, Strategy: cluster.SInsPair, Order: cluster.RandomOrder},
+		Method{Name: "Random pairing", Kind: MethodRandomPairing},
+		Method{Name: "Duplicate pairing", Kind: MethodDuplicatePairing},
+	)
+	return out
+}
+
+// MethodByName resolves a method.
+func MethodByName(name string) (Method, bool) {
+	for _, m := range Methods() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Method{}, false
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	Version kernel.Version
+	Seed    int64
+
+	// Stage 1: sequential test generation and profiling.
+	FuzzBudget int // sequential executions in the fuzzing campaign
+	CorpusCap  int // stop the campaign once this many tests are selected (0 = no cap)
+
+	// Stage 2: PMC identification.
+	PMC pmc.Options
+
+	// Stage 3/4: selection and execution.
+	Method     Method
+	TestBudget int // concurrent tests to execute
+	Trials     int // interleaving trials per concurrent test
+	Detect     detect.Options
+
+	// DisableIncidental forwards to the explorer (ablation).
+	DisableIncidental bool
+}
+
+// DefaultOptions returns a laptop-scale configuration.
+func DefaultOptions() Options {
+	m, _ := MethodByName("S-INS-PAIR")
+	return Options{
+		Version:    kernel.V5_12_RC3,
+		Seed:       1,
+		FuzzBudget: 400,
+		CorpusCap:  120,
+		PMC:        pmc.DefaultOptions(),
+		Method:     m,
+		TestBudget: 60,
+		Trials:     16,
+		Detect:     detect.DefaultOptions(),
+	}
+}
+
+// IssueRecord tracks when and how an issue was first found.
+type IssueRecord struct {
+	Issue     detect.Issue
+	TestIndex int // how many concurrent tests had executed when it surfaced
+	Trial     int // trial within that test
+	Count     int // concurrent tests that re-observed the issue (§5.2's frequency ranking)
+
+	// Repro, when non-nil, pins the bug-exposing trial for deterministic
+	// replay (crash-level findings only; see sched.Replay).
+	Repro *sched.ReproState
+	// Test is the concurrent test that exposed the issue.
+	Test sched.ConcurrentTest
+}
+
+// Report is the outcome of one pipeline run — one Table 3 row plus the
+// §5.3.2 accuracy counters and §5.4 stage timings.
+type Report struct {
+	Method  string
+	Version kernel.Version
+
+	// Stage 1.
+	CorpusSize       int
+	FuzzExecutions   int
+	ProfiledAccesses int
+	ProfileTime      time.Duration
+
+	// Stage 2.
+	DistinctPMCs    int
+	PMCCombinations int64
+	IdentifyTime    time.Duration
+
+	// Stage 3.
+	ExemplarPMCs int // clusters under the strategy (0 for baselines)
+	ClusterTime  time.Duration
+
+	// Stage 4.
+	TestedPMCs     int // hinted concurrent tests executed
+	TestedTests    int // total concurrent tests executed (== TestedPMCs for PMC methods)
+	Exercised      int // hinted tests whose channel actually occurred (§5.3.2)
+	TrialsRun      int
+	Switches       int
+	Steps          int
+	CoverPairs     int // distinct alias instruction pairs covered (Krace metric)
+	ExecTime       time.Duration
+	GeneratedTests int // tests generated (can exceed executed when deduplicated)
+
+	// Findings.
+	Issues  map[int]IssueRecord // Table 2 bug id -> first-discovery record
+	Unknown []detect.Issue      // findings not matching Table 2
+}
+
+// Accuracy returns the fraction of hinted tests that exercised their
+// channel (the paper's PMC accuracy / precision measure, §5.3.2).
+func (r *Report) Accuracy() float64 {
+	if r.TestedPMCs == 0 {
+		return 0
+	}
+	return float64(r.Exercised) / float64(r.TestedPMCs)
+}
+
+// BugIDs returns the sorted Table 2 ids found.
+func (r *Report) BugIDs() []int {
+	out := make([]int, 0, len(r.Issues))
+	for id := range r.Issues {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// String renders the report as a Table 3-style row.
+func (r *Report) String() string {
+	return fmt.Sprintf("%-18s exemplars=%-8d tested=%-6d exercised=%-6d issues=%v",
+		r.Method, r.ExemplarPMCs, r.TestedTests, r.Exercised, r.BugIDs())
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"snowboard/internal/cluster"
+	"snowboard/internal/kernel"
+)
+
+func TestMethodsListMatchesTable3(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 11 {
+		t.Fatalf("Table 3 evaluates 11 methods, have %d", len(ms))
+	}
+	want := map[string]bool{
+		"S-FULL": true, "S-CH": true, "S-CH-NULL": true, "S-CH-UNALIGNED": true,
+		"S-CH-DOUBLE": true, "S-INS": true, "S-INS-PAIR": true, "S-MEM": true,
+		"Random S-INS-PAIR": true, "Random pairing": true, "Duplicate pairing": true,
+	}
+	for _, m := range ms {
+		if !want[m.Name] {
+			t.Fatalf("unexpected method %q", m.Name)
+		}
+		delete(want, m.Name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing methods: %v", want)
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	m, ok := MethodByName("Random S-INS-PAIR")
+	if !ok || m.Order != cluster.RandomOrder || m.Strategy.Name != "S-INS-PAIR" {
+		t.Fatalf("method: %+v %v", m, ok)
+	}
+	if _, ok := MethodByName("nope"); ok {
+		t.Fatal("bogus method resolved")
+	}
+}
+
+func TestDefaultOptionsSane(t *testing.T) {
+	o := DefaultOptions()
+	if o.Method.Name != "S-INS-PAIR" {
+		t.Fatalf("default method %q", o.Method.Name)
+	}
+	if o.Version != kernel.V5_12_RC3 || o.Trials <= 0 || o.TestBudget <= 0 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func stagePipeline(t *testing.T, opts Options) (*Pipeline, *Report) {
+	t.Helper()
+	p := NewPipeline(opts)
+	r := p.NewReport()
+	p.BuildCorpus(r)
+	if err := p.ProfileAll(r); err != nil {
+		t.Fatal(err)
+	}
+	p.IdentifyPMCs(r)
+	return p, r
+}
+
+func TestGenerateTestsBudget(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FuzzBudget = 200
+	opts.CorpusCap = 40
+	p, r := stagePipeline(t, opts)
+	tests := p.GenerateTests(r, 7)
+	if len(tests) > 7 {
+		t.Fatalf("budget exceeded: %d", len(tests))
+	}
+	for _, ct := range tests {
+		if ct.Hint == nil {
+			t.Fatal("PMC method generated a hint-less test")
+		}
+		if ct.Writer == nil || ct.Reader == nil {
+			t.Fatal("test missing programs")
+		}
+	}
+}
+
+func TestBaselinesGenerateHintless(t *testing.T) {
+	for _, name := range []string{"Random pairing", "Duplicate pairing"} {
+		opts := DefaultOptions()
+		opts.FuzzBudget = 200
+		opts.CorpusCap = 40
+		opts.Method, _ = MethodByName(name)
+		p, r := stagePipeline(t, opts)
+		tests := p.GenerateTests(r, 10)
+		if len(tests) != 10 {
+			t.Fatalf("%s: generated %d", name, len(tests))
+		}
+		for _, ct := range tests {
+			if ct.Hint != nil {
+				t.Fatalf("%s produced a hint", name)
+			}
+			if name == "Duplicate pairing" && ct.Pair.Writer != ct.Pair.Reader {
+				t.Fatalf("duplicate pairing mixed tests: %+v", ct.Pair)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicIssueSet(t *testing.T) {
+	run := func() []int {
+		opts := DefaultOptions()
+		opts.Seed = 99
+		opts.FuzzBudget = 250
+		opts.CorpusCap = 50
+		opts.TestBudget = 20
+		opts.Trials = 8
+		r, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.BugIDs()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("issue sets differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("issue sets differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestReportAccuracy(t *testing.T) {
+	r := &Report{TestedPMCs: 10, Exercised: 3}
+	if r.Accuracy() != 0.3 {
+		t.Fatalf("accuracy %f", r.Accuracy())
+	}
+	empty := &Report{}
+	if empty.Accuracy() != 0 {
+		t.Fatal("empty accuracy not zero")
+	}
+}
+
+func TestReportBugIDsSorted(t *testing.T) {
+	r := &Report{Issues: map[int]IssueRecord{13: {}, 1: {}, 8: {}}}
+	ids := r.BugIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 8 || ids[2] != 13 {
+		t.Fatalf("ids: %v", ids)
+	}
+}
+
+func TestPipelineAccumulatesConcurrencyCoverage(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FuzzBudget = 250
+	opts.CorpusCap = 50
+	opts.TestBudget = 15
+	opts.Trials = 8
+	r, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoverPairs == 0 {
+		t.Fatal("no alias instruction pairs covered")
+	}
+}
+
+func TestCrashFindingsRecordRepro(t *testing.T) {
+	// A pipeline run that surfaces a crash-level issue must pin the trial
+	// for deterministic replay.
+	opts := DefaultOptions()
+	opts.Seed = 6
+	opts.Method, _ = MethodByName("S-CH-NULL")
+	opts.FuzzBudget = 400
+	opts.CorpusCap = 100
+	opts.TestBudget = 60
+	opts.Trials = 24
+	r, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record carries Repro whenever its discovering test's exploration
+	// ended in a crash-level trial (the finding itself may be the race
+	// shadow observed in the same trial).
+	crashRecorded := false
+	for _, rec := range r.Issues {
+		if rec.Repro != nil {
+			if rec.Test.Writer == nil || rec.Test.Reader == nil {
+				t.Fatal("repro recorded without its concurrent test")
+			}
+			crashRecorded = true
+		}
+	}
+	if !crashRecorded {
+		t.Fatal("this configuration crashes (issue #3) but no repro state was recorded")
+	}
+}

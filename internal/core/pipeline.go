@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"snowboard/internal/cluster"
+	"snowboard/internal/corpus"
+	"snowboard/internal/cover"
+	"snowboard/internal/detect"
+	"snowboard/internal/exec"
+	"snowboard/internal/fuzz"
+	"snowboard/internal/kernel"
+	"snowboard/internal/pmc"
+	"snowboard/internal/sched"
+)
+
+// Pipeline holds the state flowing between the four stages so that callers
+// (and benchmarks) can run stages individually, reuse a profiled corpus
+// across strategies — as the paper does when comparing the eleven methods
+// on the same machine-C profile — or run everything via Run.
+type Pipeline struct {
+	Opts Options
+	Env  *exec.Env
+
+	Corpus   *corpus.Corpus
+	Profiles []pmc.Profile
+	PMCs     *pmc.Set
+
+	rng *rand.Rand
+}
+
+// NewPipeline boots the simulated kernel for the configured version.
+func NewPipeline(opts Options) *Pipeline {
+	if opts.Trials <= 0 {
+		opts.Trials = 16
+	}
+	return &Pipeline{
+		Opts: opts,
+		Env:  exec.NewEnv(kernel.Config{Version: opts.Version}),
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// BuildCorpus runs the fuzzing campaign (stage 1a).
+func (p *Pipeline) BuildCorpus(r *Report) {
+	res := fuzz.Campaign(p.Env, p.Opts.Seed, p.Opts.FuzzBudget, p.Opts.CorpusCap)
+	p.Corpus = res.Corpus
+	r.CorpusSize = p.Corpus.Len()
+	r.FuzzExecutions = res.Executed
+}
+
+// SetCorpus installs an externally built corpus (e.g. shared across the
+// strategy-comparison benchmarks).
+func (p *Pipeline) SetCorpus(c *corpus.Corpus) { p.Corpus = c }
+
+// ProfileAll records the shared-memory access set of every corpus test
+// from the fixed snapshot (stage 1b).
+func (p *Pipeline) ProfileAll(r *Report) error {
+	start := time.Now()
+	p.Profiles = p.Profiles[:0]
+	for i, prog := range p.Corpus.Progs {
+		accs, df, res := p.Env.Profile(prog)
+		if res.Crashed() {
+			return fmt.Errorf("core: corpus test %d crashed during profiling: %v", i, res.Faults)
+		}
+		p.Profiles = append(p.Profiles, pmc.Profile{TestID: i, Accesses: accs, DFLeader: df})
+		r.ProfiledAccesses += len(accs)
+	}
+	r.ProfileTime = time.Since(start)
+	return nil
+}
+
+// SetProfiles installs externally computed profiles.
+func (p *Pipeline) SetProfiles(profiles []pmc.Profile) { p.Profiles = profiles }
+
+// IdentifyPMCs runs Algorithm 1 over the profiles (stage 2).
+func (p *Pipeline) IdentifyPMCs(r *Report) {
+	start := time.Now()
+	p.PMCs = pmc.Identify(p.Profiles, p.Opts.PMC)
+	r.DistinctPMCs = p.PMCs.Len()
+	r.PMCCombinations = p.PMCs.TotalCombinations
+	r.IdentifyTime = time.Since(start)
+}
+
+// SetPMCs installs an externally identified PMC set.
+func (p *Pipeline) SetPMCs(s *pmc.Set) { p.PMCs = s }
+
+// GenerateTests produces up to budget concurrent tests under the
+// configured method (stage 3). For PMC methods it clusters, orders
+// uncommon-first (or randomly), and draws one exemplar PMC — and one of its
+// test pairs — per cluster. Baselines draw random (or duplicate) pairs.
+func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
+	start := time.Now()
+	defer func() { r.ClusterTime += time.Since(start) }()
+	var out []sched.ConcurrentTest
+	switch p.Opts.Method.Kind {
+	case MethodPMC:
+		cs := cluster.Clusters(p.PMCs, p.Opts.Method.Strategy)
+		cluster.OrderClusters(cs, p.Opts.Method.Order, p.rng)
+		r.ExemplarPMCs = len(cs)
+		for i := range cs {
+			if len(out) >= budget {
+				break
+			}
+			ex := cluster.Exemplar(&cs[i], p.rng)
+			entry := p.PMCs.Entries[ex]
+			if entry == nil || len(entry.Pairs) == 0 {
+				continue
+			}
+			pair := entry.Pairs[p.rng.Intn(len(entry.Pairs))]
+			hint := entry.PMC
+			out = append(out, sched.ConcurrentTest{
+				Writer: p.Corpus.Progs[pair.Writer],
+				Reader: p.Corpus.Progs[pair.Reader],
+				Hint:   &hint,
+				Pair:   pair,
+			})
+		}
+	case MethodRandomPairing:
+		for len(out) < budget {
+			w := p.rng.Intn(p.Corpus.Len())
+			rd := p.rng.Intn(p.Corpus.Len())
+			out = append(out, sched.ConcurrentTest{
+				Writer: p.Corpus.Progs[w],
+				Reader: p.Corpus.Progs[rd],
+				Pair:   pmc.Pair{Writer: w, Reader: rd},
+			})
+		}
+	case MethodDuplicatePairing:
+		for len(out) < budget {
+			i := p.rng.Intn(p.Corpus.Len())
+			out = append(out, sched.ConcurrentTest{
+				Writer: p.Corpus.Progs[i],
+				Reader: p.Corpus.Progs[i].Clone(),
+				Pair:   pmc.Pair{Writer: i, Reader: i},
+			})
+		}
+	}
+	r.GeneratedTests += len(out)
+	return out
+}
+
+// ExecuteTests explores each concurrent test (stage 4), folding findings
+// into the report.
+func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
+	start := time.Now()
+	mode := sched.ModeSnowboard
+	cov := cover.New()
+	x := &sched.Explorer{
+		Env:               p.Env,
+		Trials:            p.Opts.Trials,
+		Mode:              mode,
+		Detect:            p.Opts.Detect,
+		KnownPMCs:         p.PMCs,
+		DisableIncidental: p.Opts.DisableIncidental,
+		Fsck:              func() []string { return p.Env.K.FsckHost() },
+		Coverage:          cov,
+	}
+	for _, ct := range tests {
+		x.Seed = p.rng.Int63()
+		out := x.Explore(ct)
+		r.TestedTests++
+		if ct.Hint != nil {
+			r.TestedPMCs++
+			if out.Exercised {
+				r.Exercised++
+			}
+		}
+		r.TrialsRun += out.Trials
+		r.Switches += out.Switches
+		r.Steps += out.Steps
+		for _, is := range out.Issues {
+			if is.BugID != 0 {
+				rec, seen := r.Issues[is.BugID]
+				if !seen {
+					rec = IssueRecord{
+						Issue:     is,
+						TestIndex: r.TestedTests,
+						Trial:     out.TrialOf(is),
+						Repro:     out.Repro,
+						Test:      ct,
+					}
+				} else if rec.Repro == nil && out.Repro != nil && crashLevel(is.Kind) {
+					// The bug was first seen as its data-race shadow; a
+					// later crash-level observation carries the replayable
+					// trial — upgrade the record.
+					rec.Issue = is
+					rec.Repro = out.Repro
+					rec.Test = ct
+				}
+				rec.Count++
+				r.Issues[is.BugID] = rec
+				continue
+			}
+			dup := false
+			for _, u := range r.Unknown {
+				if u.ID() == is.ID() {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				r.Unknown = append(r.Unknown, is)
+			}
+		}
+	}
+	r.CoverPairs += cov.Len()
+	r.ExecTime += time.Since(start)
+}
+
+// crashLevel reports whether the issue kind wedges or corrupts the kernel.
+func crashLevel(k detect.IssueKind) bool {
+	switch k {
+	case detect.KindPanic, detect.KindFSError, detect.KindIOError, detect.KindDeadlock:
+		return true
+	}
+	return false
+}
+
+// Run executes the full pipeline.
+func Run(opts Options) (*Report, error) {
+	p := NewPipeline(opts)
+	r := &Report{Method: opts.Method.Name, Version: opts.Version, Issues: make(map[int]IssueRecord)}
+	p.BuildCorpus(r)
+	if err := p.ProfileAll(r); err != nil {
+		return nil, err
+	}
+	p.IdentifyPMCs(r)
+	tests := p.GenerateTests(r, opts.TestBudget)
+	p.ExecuteTests(r, tests)
+	return r, nil
+}
+
+// NewReport allocates an empty report bound to the pipeline's method.
+func (p *Pipeline) NewReport() *Report {
+	return &Report{Method: p.Opts.Method.Name, Version: p.Opts.Version, Issues: make(map[int]IssueRecord)}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFullPipelineSmoke(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FuzzBudget = 300
+	opts.CorpusCap = 80
+	opts.TestBudget = 40
+	opts.Trials = 12
+	r, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", r)
+	t.Logf("corpus=%d accesses=%d pmcs=%d combos=%d accuracy=%.2f",
+		r.CorpusSize, r.ProfiledAccesses, r.DistinctPMCs, r.PMCCombinations, r.Accuracy())
+	for id, rec := range r.Issues {
+		t.Logf("issue #%d after %d tests (trial %d): %s", id, rec.TestIndex, rec.Trial, rec.Issue.Desc)
+	}
+	for _, u := range r.Unknown {
+		t.Logf("UNKNOWN: %s", u.Desc)
+	}
+	if r.CorpusSize == 0 || r.DistinctPMCs == 0 {
+		t.Fatal("pipeline produced no corpus or PMCs")
+	}
+	if r.TestedPMCs == 0 {
+		t.Fatal("no hinted tests executed")
+	}
+	if len(r.Issues) == 0 {
+		t.Fatal("pipeline found no issues at all (even #13 should appear)")
+	}
+	if len(r.Unknown) > 0 {
+		t.Errorf("unclassified findings present: %d", len(r.Unknown))
+	}
+}

@@ -1,0 +1,125 @@
+// Package cover implements concurrency coverage metrics for trial
+// executions. The primary metric is Krace-style *alias instruction-pair
+// coverage* (the paper discusses it in §2.1 and finds its own
+// instruction-pair clustering "consistent with the use of instruction-pair
+// coverage to guide search in Krace", §5.3.1): an ordered pair of
+// instructions (w, r) is covered when thread A's access at w is directly
+// followed — on the same memory — by thread B's access at r. Accumulated
+// across trials, the metric measures how much genuinely concurrent behavior
+// a testing campaign has explored, independently of whether bugs fired.
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"snowboard/internal/trace"
+)
+
+// Pair is an ordered cross-thread instruction pair on overlapping memory.
+type Pair struct {
+	First  trace.Ins
+	Second trace.Ins
+}
+
+// String renders the pair for reports.
+func (p Pair) String() string {
+	return fmt.Sprintf("%s -> %s", p.First.Name(), p.Second.Name())
+}
+
+// Coverage accumulates alias instruction pairs across trials. It is safe
+// for concurrent use so distributed workers can share one accumulator.
+type Coverage struct {
+	mu    sync.Mutex
+	pairs map[Pair]int
+}
+
+// New returns an empty accumulator.
+func New() *Coverage {
+	return &Coverage{pairs: make(map[Pair]int)}
+}
+
+// AddTrace folds one trial trace in and returns how many *new* pairs it
+// contributed. For every memory byte, consecutive accesses by different
+// threads (at least one being a write — read/read orderings carry no
+// communication) contribute their instruction pair.
+func (c *Coverage) AddTrace(tr *trace.Trace) int {
+	// lastByByte tracks the most recent access per byte.
+	type lastAccess struct {
+		ins    trace.Ins
+		thread int
+		write  bool
+	}
+	last := make(map[uint64]lastAccess)
+	local := make(map[Pair]bool)
+	for i := range tr.Accesses {
+		a := &tr.Accesses[i]
+		if a.Stack || a.Atomic {
+			continue
+		}
+		isWrite := a.Kind == trace.Write
+		for b := a.Addr; b < a.End(); b++ {
+			if prev, ok := last[b]; ok && prev.thread != a.Thread && (prev.write || isWrite) {
+				local[Pair{First: prev.ins, Second: a.Ins}] = true
+			}
+			last[b] = lastAccess{ins: a.Ins, thread: a.Thread, write: isWrite}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fresh := 0
+	for p := range local {
+		if c.pairs[p] == 0 {
+			fresh++
+		}
+		c.pairs[p]++
+	}
+	return fresh
+}
+
+// Len returns the number of distinct pairs covered so far.
+func (c *Coverage) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pairs)
+}
+
+// Top returns the n most frequently re-covered pairs, most common first —
+// the frequency ranking used to prioritize manual inspection (§5.2).
+func (c *Coverage) Top(n int) []Pair {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type entry struct {
+		p Pair
+		n int
+	}
+	all := make([]entry, 0, len(c.pairs))
+	for p, count := range c.pairs {
+		all = append(all, entry{p, count})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		if all[i].p.First != all[j].p.First {
+			return all[i].p.First < all[j].p.First
+		}
+		return all[i].p.Second < all[j].p.Second
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].p
+	}
+	return out
+}
+
+// Count returns how many times the pair has been covered.
+func (c *Coverage) Count(p Pair) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pairs[p]
+}

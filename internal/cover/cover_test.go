@@ -1,0 +1,142 @@
+package cover
+
+import (
+	"testing"
+
+	"snowboard/internal/trace"
+)
+
+var (
+	cvW = trace.DefIns("cover_test:w")
+	cvR = trace.DefIns("cover_test:r")
+	cvX = trace.DefIns("cover_test:x")
+)
+
+func tAcc(th int, kind trace.Kind, ins trace.Ins, addr uint64) trace.Access {
+	return trace.Access{Thread: th, Kind: kind, Ins: ins, Addr: addr, Size: 8}
+}
+
+func trOf(accs ...trace.Access) *trace.Trace {
+	tr := &trace.Trace{}
+	for _, a := range accs {
+		tr.Append(a)
+	}
+	return tr
+}
+
+func TestCrossThreadPairCovered(t *testing.T) {
+	c := New()
+	fresh := c.AddTrace(trOf(
+		tAcc(0, trace.Write, cvW, 0x100),
+		tAcc(1, trace.Read, cvR, 0x100),
+	))
+	if fresh != 1 || c.Len() != 1 {
+		t.Fatalf("fresh=%d len=%d", fresh, c.Len())
+	}
+	if c.Count(Pair{First: cvW, Second: cvR}) != 1 {
+		t.Fatal("pair not counted")
+	}
+}
+
+func TestSameThreadNotCovered(t *testing.T) {
+	c := New()
+	if fresh := c.AddTrace(trOf(
+		tAcc(0, trace.Write, cvW, 0x100),
+		tAcc(0, trace.Read, cvR, 0x100),
+	)); fresh != 0 {
+		t.Fatalf("same-thread pair covered: %d", fresh)
+	}
+}
+
+func TestReadReadNotCovered(t *testing.T) {
+	c := New()
+	if fresh := c.AddTrace(trOf(
+		tAcc(0, trace.Read, cvW, 0x100),
+		tAcc(1, trace.Read, cvR, 0x100),
+	)); fresh != 0 {
+		t.Fatalf("read/read pair covered: %d", fresh)
+	}
+}
+
+func TestDisjointMemoryNotCovered(t *testing.T) {
+	c := New()
+	if fresh := c.AddTrace(trOf(
+		tAcc(0, trace.Write, cvW, 0x100),
+		tAcc(1, trace.Read, cvR, 0x200),
+	)); fresh != 0 {
+		t.Fatalf("disjoint pair covered: %d", fresh)
+	}
+}
+
+func TestInterveningAccessBreaksPair(t *testing.T) {
+	c := New()
+	fresh := c.AddTrace(trOf(
+		tAcc(0, trace.Write, cvW, 0x100),
+		tAcc(1, trace.Write, cvX, 0x100), // interposes
+		tAcc(0, trace.Read, cvR, 0x100),
+	))
+	// Pairs: (w -> x) and (x -> r); but never (w -> r).
+	if fresh != 2 {
+		t.Fatalf("fresh=%d", fresh)
+	}
+	if c.Count(Pair{First: cvW, Second: cvR}) != 0 {
+		t.Fatal("non-adjacent pair covered")
+	}
+}
+
+func TestStackAndAtomicIgnored(t *testing.T) {
+	c := New()
+	w := tAcc(0, trace.Write, cvW, 0x100)
+	w.Stack = true
+	r := tAcc(1, trace.Read, cvR, 0x100)
+	if fresh := c.AddTrace(trOf(w, r)); fresh != 0 {
+		t.Fatal("stack access covered")
+	}
+	w.Stack, w.Atomic = false, true
+	if fresh := c.AddTrace(trOf(w, r)); fresh != 0 {
+		t.Fatal("atomic access covered")
+	}
+}
+
+func TestFreshCountsOnlyNewPairs(t *testing.T) {
+	c := New()
+	tr := trOf(
+		tAcc(0, trace.Write, cvW, 0x100),
+		tAcc(1, trace.Read, cvR, 0x100),
+	)
+	if fresh := c.AddTrace(tr); fresh != 1 {
+		t.Fatalf("first: %d", fresh)
+	}
+	if fresh := c.AddTrace(tr); fresh != 0 {
+		t.Fatalf("repeat counted as fresh: %d", fresh)
+	}
+	if c.Count(Pair{First: cvW, Second: cvR}) != 2 {
+		t.Fatal("repeat not accumulated")
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	c := New()
+	hot := trOf(tAcc(0, trace.Write, cvW, 0x100), tAcc(1, trace.Read, cvR, 0x100))
+	cold := trOf(tAcc(0, trace.Write, cvX, 0x200), tAcc(1, trace.Read, cvR, 0x200))
+	for i := 0; i < 5; i++ {
+		c.AddTrace(hot)
+	}
+	c.AddTrace(cold)
+	top := c.Top(2)
+	if len(top) != 2 || top[0] != (Pair{First: cvW, Second: cvR}) {
+		t.Fatalf("top: %v", top)
+	}
+	if got := c.Top(10); len(got) != 2 {
+		t.Fatalf("Top clamps: %d", len(got))
+	}
+}
+
+func TestPartialOverlapCovered(t *testing.T) {
+	c := New()
+	w := trace.Access{Thread: 0, Kind: trace.Write, Ins: cvW, Addr: 0x100, Size: 8}
+	r := trace.Access{Thread: 1, Kind: trace.Read, Ins: cvR, Addr: 0x104, Size: 2}
+	if fresh := c.AddTrace(trOf(w, r)); fresh != 1 {
+		t.Fatalf("partial overlap not covered: %d", fresh)
+	}
+}

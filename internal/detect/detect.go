@@ -1,0 +1,256 @@
+// Package detect implements the bug oracles of §3.1/§4.4.1: a kernel
+// console checker, a lockset-based data race detector (the DataCollider
+// stand-in), hang/deadlock oracles, a torn-read witness, and the
+// known-issue classifier that maps findings onto the paper's Table 2.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snowboard/internal/trace"
+)
+
+// IssueKind classifies a finding.
+type IssueKind uint8
+
+// Issue kinds.
+const (
+	// KindPanic is a kernel crash (oops / BUG / null dereference).
+	KindPanic IssueKind = iota
+	// KindFSError is a filesystem consistency error on the console.
+	KindFSError
+	// KindIOError is a block-layer I/O error on the console.
+	KindIOError
+	// KindDataRace is a lockset-detected data race.
+	KindDataRace
+	// KindDeadlock means all threads blocked.
+	KindDeadlock
+	// KindHang means the step budget was exhausted (livelock heuristic).
+	KindHang
+)
+
+// String names the kind.
+func (k IssueKind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindFSError:
+		return "fs-error"
+	case KindIOError:
+		return "io-error"
+	case KindDataRace:
+		return "data-race"
+	case KindDeadlock:
+		return "deadlock"
+	case KindHang:
+		return "hang"
+	}
+	return "unknown"
+}
+
+// Issue is one finding from a trial.
+type Issue struct {
+	Kind     IssueKind
+	Desc     string    // human-readable description (console line or race pair)
+	WriteIns trace.Ins // racing write site (data races only)
+	ReadIns  trace.Ins // racing read site (data races only)
+	BugID    int       // Table 2 issue number, 0 if unclassified
+	Harmful  bool      // per the Table 2 classification
+	Torn     bool      // a torn multi-part read was directly witnessed
+}
+
+// ID returns a stable deduplication key for the issue.
+func (i Issue) ID() string {
+	if i.Kind == KindDataRace {
+		pfx := "race"
+		if i.Torn {
+			pfx = "torn"
+		}
+		return fmt.Sprintf("%s:%s/%s", pfx, i.WriteIns.Name(), i.ReadIns.Name())
+	}
+	return fmt.Sprintf("%s:%s", i.Kind, i.Desc)
+}
+
+// funcOf strips the ":operation" suffix from an instruction name, leaving
+// the kernel function, which is how findings are matched to Table 2.
+func funcOf(ins trace.Ins) string {
+	name := ins.Name()
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// CheckConsole scans console lines for crash and corruption signatures.
+// lastAccess maps thread id -> the final access recorded before a fault,
+// used to attribute panics to a kernel function.
+func CheckConsole(lines []string, lastAccess map[int]trace.Ins) []Issue {
+	var out []Issue
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "NULL pointer dereference"),
+			strings.Contains(l, "unable to handle page fault"),
+			strings.HasPrefix(l, "BUG:"):
+			is := Issue{Kind: KindPanic, Desc: l}
+			classifyPanic(&is, lastAccess)
+			out = append(out, is)
+		case strings.Contains(l, "EXT4-fs error"):
+			is := Issue{Kind: KindFSError, Desc: l}
+			classifyConsole(&is)
+			out = append(out, is)
+		case strings.Contains(l, "blk_update_request: I/O error"):
+			is := Issue{Kind: KindIOError, Desc: l, BugID: 4, Harmful: true}
+			out = append(out, is)
+		}
+	}
+	return out
+}
+
+// RaceReport is a deduplicated data race found by the lockset detector.
+type RaceReport struct {
+	Write, Read trace.Access
+}
+
+// FindRaces runs the Eraser-style lockset analysis over a trial trace:
+// two accesses from different threads to overlapping non-stack memory, at
+// least one a plain (unmarked, non-lock-word) write, holding no common
+// lock, constitute a data race. Pairs where both sides are marked
+// (READ_ONCE/WRITE_ONCE/rcu) are intentional concurrency and skipped,
+// mirroring KCSAN's defaults.
+func FindRaces(tr *trace.Trace) []RaceReport {
+	type key struct{ w, r trace.Ins }
+	seen := make(map[key]bool)
+	var out []RaceReport
+
+	accs := tr.Accesses
+	// Group by overlap via a write index bucketed on address.
+	writes := make(map[uint64][]int)
+	for i := range accs {
+		a := &accs[i]
+		if a.Kind == trace.Write && !a.Atomic && !a.Stack {
+			writes[a.Addr] = append(writes[a.Addr], i)
+		}
+	}
+	consider := func(wi, oi int) {
+		w, o := &accs[wi], &accs[oi]
+		if w.Thread == o.Thread || !w.Overlaps(o) {
+			return
+		}
+		if w.Marked && o.Marked {
+			return
+		}
+		if w.SharesLock(o) {
+			return
+		}
+		var rd *trace.Access
+		if o.Kind == trace.Read {
+			rd = o
+		} else {
+			// write/write conflict: report with the second write as "read"
+			// side for keying purposes (both clobber the location).
+			rd = o
+		}
+		k := key{w: w.Ins, r: rd.Ins}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, RaceReport{Write: *w, Read: *rd})
+	}
+	for i := range accs {
+		o := &accs[i]
+		if o.Atomic || o.Stack {
+			continue
+		}
+		lo := uint64(0)
+		if o.Addr > 7 {
+			lo = o.Addr - 7
+		}
+		for addr := lo; addr < o.End(); addr++ {
+			for _, wi := range writes[addr] {
+				if wi == i {
+					continue
+				}
+				// Deduplicate write/write pairs: only report with the
+				// earlier access as the "write" side.
+				if accs[wi].Kind == trace.Write && o.Kind == trace.Write && wi > i {
+					continue
+				}
+				consider(wi, i)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Write.Ins != out[j].Write.Ins {
+			return out[i].Write.Ins < out[j].Write.Ins
+		}
+		return out[i].Read.Ins < out[j].Read.Ins
+	})
+	return out
+}
+
+// TornRead is a witnessed value corruption: a multi-part read (same
+// instruction over adjacent bytes) interleaved with a conflicting writer,
+// e.g. Figure 3's corrupted MAC address.
+type TornRead struct {
+	ReadIns  trace.Ins
+	WriteIns trace.Ins
+	Addr     uint64
+	Len      int
+}
+
+// FindTornReads scans the trial for runs of same-instruction byte reads by
+// one thread with a conflicting write from another thread sequenced inside
+// the run — direct evidence that the reader observed a mix of old and new
+// bytes.
+func FindTornReads(tr *trace.Trace) []TornRead {
+	accs := tr.Accesses
+	var out []TornRead
+	for i := 0; i < len(accs); {
+		a := &accs[i]
+		if a.Kind != trace.Read || a.Stack || a.Atomic {
+			i++
+			continue
+		}
+		// Collect the run of reads by the same thread+instruction over
+		// adjacent ascending addresses (a memcpy loop).
+		j := i
+		for j+1 < len(accs) {
+			// Allow interleaved accesses from other threads inside the run.
+			next := -1
+			for k := j + 1; k < len(accs) && k <= j+16; k++ {
+				b := &accs[k]
+				if b.Thread == a.Thread {
+					if b.Ins == a.Ins && b.Kind == trace.Read && b.Addr == accs[j].Addr+uint64(accs[j].Size) {
+						next = k
+					}
+					break
+				}
+			}
+			if next < 0 {
+				break
+			}
+			j = next
+		}
+		if j > i+1 { // a run of at least 3 parts
+			lo, hi := accs[i].Addr, accs[j].End()
+			// Any conflicting write sequenced strictly inside the run?
+			for k := i + 1; k < j; k++ {
+				b := &accs[k]
+				if b.Kind == trace.Write && b.Thread != a.Thread && b.Addr < hi && b.End() > lo {
+					out = append(out, TornRead{
+						ReadIns:  a.Ins,
+						WriteIns: b.Ins,
+						Addr:     lo,
+						Len:      int(hi - lo),
+					})
+					break
+				}
+			}
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package diagnose renders post-mortem reports for exposed concurrency
+// issues (§6 "Bug Diagnosis"): given a bug-exposing trial trace and the PMC
+// scheduling hint, it reconstructs the two-column interleaving diagram
+// around the communicating accesses — the presentation style of the
+// paper's Figures 1 and 3 — so a developer can see which writer store
+// interposed into the reader's critical region.
+package diagnose
+
+import (
+	"fmt"
+	"strings"
+
+	"snowboard/internal/detect"
+	"snowboard/internal/pmc"
+	"snowboard/internal/trace"
+)
+
+// Options tunes the rendering.
+type Options struct {
+	// Context is how many accesses to show around each point of interest.
+	Context int
+	// MaxRows caps the total rows rendered.
+	MaxRows int
+}
+
+// DefaultOptions renders ±4 accesses of context, at most 64 rows.
+func DefaultOptions() Options { return Options{Context: 4, MaxRows: 64} }
+
+// interesting marks trace indexes that should anchor context windows: PMC
+// accesses and the accesses named by the issues.
+func interesting(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue) map[int]string {
+	anchors := make(map[int]string)
+	match := func(a *trace.Access, k pmc.Key, kind trace.Kind) bool {
+		return a.Kind == kind && a.Ins == k.Ins && a.Addr == k.Addr && a.Size == k.Size
+	}
+	insOfInterest := make(map[trace.Ins]string)
+	for _, is := range issues {
+		if is.WriteIns != trace.NoIns {
+			insOfInterest[is.WriteIns] = "racing write"
+		}
+		if is.ReadIns != trace.NoIns {
+			insOfInterest[is.ReadIns] = "racing read"
+		}
+	}
+	for i := range tr.Accesses {
+		a := &tr.Accesses[i]
+		if hint != nil {
+			if match(a, hint.Write, trace.Write) {
+				anchors[i] = "PMC write ➊" // ➊
+				continue
+			}
+			if match(a, hint.Read, trace.Read) {
+				anchors[i] = "PMC read ➋" // ➋
+				continue
+			}
+		}
+		if tag, ok := insOfInterest[a.Ins]; ok {
+			anchors[i] = tag
+		}
+	}
+	return anchors
+}
+
+// Render produces the two-column interleaving report. Thread 0 (the
+// writer test) occupies the left column, thread 1 the right.
+func Render(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue, opt Options) string {
+	if opt.Context <= 0 {
+		opt.Context = 4
+	}
+	if opt.MaxRows <= 0 {
+		opt.MaxRows = 64
+	}
+	anchors := interesting(tr, hint, issues)
+
+	show := make(map[int]bool)
+	for idx := range anchors {
+		for j := idx - opt.Context; j <= idx+opt.Context; j++ {
+			if j >= 0 && j < len(tr.Accesses) {
+				show[j] = true
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("Concurrent test interleaving (kernel thread 1 | kernel thread 2)\n")
+	if hint != nil {
+		fmt.Fprintf(&b, "PMC hint: %s\n", hint)
+	}
+	for _, is := range issues {
+		fmt.Fprintf(&b, "finding: [%s] %s", is.Kind, is.Desc)
+		if is.BugID != 0 {
+			fmt.Fprintf(&b, "  (Table 2 issue #%d)", is.BugID)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat("-", 100) + "\n")
+
+	rows := 0
+	prevShown := true
+	for i := range tr.Accesses {
+		if !show[i] {
+			if prevShown {
+				b.WriteString("    ...\n")
+				prevShown = false
+			}
+			continue
+		}
+		prevShown = true
+		if rows >= opt.MaxRows {
+			b.WriteString("    ... (truncated)\n")
+			break
+		}
+		rows++
+		a := &tr.Accesses[i]
+		line := fmt.Sprintf("%s %s [%#x+%d] = %#x", a.Kind, a.Ins.Name(), a.Addr, a.Size, a.Val)
+		if tag, ok := anchors[i]; ok {
+			line += "   <== " + tag
+		}
+		if a.Thread == 0 {
+			fmt.Fprintf(&b, "%-78s|\n", "  "+line)
+		} else {
+			fmt.Fprintf(&b, "%-40s|  %s\n", "", line)
+		}
+	}
+	return b.String()
+}
+
+// Summarize produces a one-paragraph textual account of how the PMC led to
+// the issue, in the style of the paper's case studies.
+func Summarize(hint *pmc.PMC, issues []detect.Issue) string {
+	var b strings.Builder
+	if hint != nil {
+		fmt.Fprintf(&b,
+			"The writer's %s stores %#x over [%#x,+%d); run before the reader's %s (which observed %#x sequentially), the communication changes the reader's view of that memory.",
+			hint.Write.Ins.Name(), hint.Write.Val, hint.Write.Addr, hint.Write.Size,
+			hint.Read.Ins.Name(), hint.Read.Val)
+	}
+	for _, is := range issues {
+		switch is.Kind {
+		case detect.KindPanic:
+			fmt.Fprintf(&b, " The interleaving ends in a kernel crash: %s.", is.Desc)
+		case detect.KindDataRace:
+			fmt.Fprintf(&b, " The oracles flag %s.", is.Desc)
+		case detect.KindFSError, detect.KindIOError:
+			fmt.Fprintf(&b, " The kernel logs %q.", is.Desc)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,88 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"snowboard/internal/detect"
+	"snowboard/internal/pmc"
+	"snowboard/internal/trace"
+)
+
+var (
+	dgW = trace.DefIns("diag_test:publish")
+	dgR = trace.DefIns("diag_test:lookup")
+	dgX = trace.DefIns("diag_test:noise")
+)
+
+func diagTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < 20; i++ {
+		tr.Append(trace.Access{Thread: 0, Kind: trace.Write, Ins: dgX, Addr: 0x900 + uint64(i), Size: 1})
+	}
+	tr.Append(trace.Access{Thread: 0, Kind: trace.Write, Ins: dgW, Addr: 0x100, Size: 8, Val: 0x42})
+	tr.Append(trace.Access{Thread: 1, Kind: trace.Read, Ins: dgR, Addr: 0x100, Size: 8, Val: 0x42})
+	for i := 0; i < 20; i++ {
+		tr.Append(trace.Access{Thread: 1, Kind: trace.Read, Ins: dgX, Addr: 0x900 + uint64(i), Size: 1})
+	}
+	return tr
+}
+
+func diagHint() *pmc.PMC {
+	return &pmc.PMC{
+		Write: pmc.Key{Ins: dgW, Addr: 0x100, Size: 8, Val: 0x42},
+		Read:  pmc.Key{Ins: dgR, Addr: 0x100, Size: 8, Val: 0},
+	}
+}
+
+func TestRenderAnchorsAndElision(t *testing.T) {
+	out := Render(diagTrace(), diagHint(), []detect.Issue{
+		{Kind: detect.KindPanic, Desc: "BUG: kernel NULL pointer dereference", BugID: 12},
+	}, DefaultOptions())
+
+	if !strings.Contains(out, "PMC write") || !strings.Contains(out, "PMC read") {
+		t.Fatalf("anchors missing:\n%s", out)
+	}
+	if !strings.Contains(out, "...") {
+		t.Fatalf("uninteresting context not elided:\n%s", out)
+	}
+	if !strings.Contains(out, "Table 2 issue #12") {
+		t.Fatalf("finding line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "diag_test:publish") {
+		t.Fatalf("write site missing:\n%s", out)
+	}
+	// The reader's column is indented relative to the writer's.
+	var readerLine string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "diag_test:lookup") {
+			readerLine = l
+		}
+	}
+	if !strings.HasPrefix(readerLine, strings.Repeat(" ", 40)) {
+		t.Fatalf("reader line not in right column: %q", readerLine)
+	}
+}
+
+func TestRenderRowCap(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 500; i++ {
+		tr.Append(trace.Access{Thread: 0, Kind: trace.Write, Ins: dgW, Addr: 0x100, Size: 8})
+	}
+	out := Render(tr, diagHint(), nil, Options{Context: 2, MaxRows: 10})
+	if !strings.Contains(out, "(truncated)") {
+		t.Fatal("row cap not applied")
+	}
+	if n := strings.Count(out, "diag_test:publish"); n > 12 {
+		t.Fatalf("too many rows rendered: %d", n)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(diagHint(), []detect.Issue{
+		{Kind: detect.KindPanic, Desc: "BUG: kernel NULL pointer dereference"},
+	})
+	if !strings.Contains(s, "diag_test:publish") || !strings.Contains(s, "kernel crash") {
+		t.Fatalf("summary: %s", s)
+	}
+}

@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"snowboard/internal/corpus"
+	"snowboard/internal/kernel"
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// l2tpWriterProg is Test 1 of the paper's Figure 1: create a PPPoX socket,
+// a backing inet socket, and connect with tunnel id 1.
+func l2tpWriterProg() *corpus.Prog {
+	return &corpus.Prog{Calls: []corpus.Call{
+		{Nr: kernel.SysSocketNr, Args: []corpus.Arg{corpus.Const(kernel.AFPppox), corpus.Const(kernel.SockDgram), corpus.Const(kernel.PxProtoOL2TP)}},
+		{Nr: kernel.SysSocketNr, Args: []corpus.Arg{corpus.Const(kernel.AFInet), corpus.Const(kernel.SockDgram), corpus.Const(0)}},
+		{Nr: kernel.SysConnectNr, Args: []corpus.Arg{corpus.Result(0), corpus.Const(1), corpus.Result(1)}},
+	}}
+}
+
+// l2tpReaderProg is Test 2 of Figure 1: the same setup plus sendmsg.
+func l2tpReaderProg() *corpus.Prog {
+	p := l2tpWriterProg()
+	p.Calls = append(p.Calls, corpus.Call{
+		Nr:   kernel.SysSendmsgNr,
+		Args: []corpus.Arg{corpus.Result(0), corpus.Const(512)},
+	})
+	return p
+}
+
+func TestSequentialL2TPNoCrash(t *testing.T) {
+	env := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	for _, prog := range []*corpus.Prog{l2tpWriterProg(), l2tpReaderProg()} {
+		res := env.RunSequential(prog, nil)
+		if res.Crashed() {
+			t.Fatalf("sequential run crashed: %v", res.Faults)
+		}
+		for i, ret := range res.Rets[0] {
+			if ret < 0 {
+				t.Fatalf("call %d failed: %d", i, ret)
+			}
+		}
+	}
+}
+
+func TestSequentialProfileCollectsSharedAccesses(t *testing.T) {
+	env := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	accs, _, res := env.Profile(l2tpReaderProg())
+	if res.Crashed() {
+		t.Fatalf("profile crashed: %v", res.Faults)
+	}
+	if len(accs) == 0 {
+		t.Fatal("no shared accesses profiled")
+	}
+	var sawPublishRead bool
+	for _, a := range accs {
+		if a.Stack {
+			t.Fatalf("stack access leaked through filter: %+v", a)
+		}
+		if a.Atomic {
+			t.Fatalf("lock-word access leaked through filter: %+v", a)
+		}
+		if a.Ins.Name() == "l2tp_tunnel_get:rcu_dereference_list" {
+			sawPublishRead = true
+		}
+	}
+	if !sawPublishRead {
+		t.Fatal("profile missing the tunnel-list lookup read")
+	}
+}
+
+// TestL2TPBugTriggersUnderAdversarialSchedule drives the Figure 1 order
+// violation by hand: run the writer until it publishes the tunnel
+// (list_add_rcu), then run the reader to completion. The reader must panic
+// on the null tunnel->sock in the 5.12-rc3 build and survive in 5.3.10.
+func TestL2TPBugTriggersUnderAdversarialSchedule(t *testing.T) {
+	publishIns, ok := trace.LookupIns("l2tp_tunnel_register:list_add_rcu")
+	if !ok {
+		t.Fatal("publish instruction not registered")
+	}
+	for _, tc := range []struct {
+		version   kernel.Version
+		wantCrash bool
+	}{
+		{kernel.V5_12_RC3, true},
+		{kernel.V5_3_10, false},
+	} {
+		env := NewEnv(kernel.Config{Version: tc.version})
+		published := false
+		sched := vm.FuncScheduler(func(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
+			if ev.Kind == vm.EvAccess && ev.Access.Ins == publishIns {
+				published = true
+			}
+			runnable := m.Runnable()
+			if len(runnable) == 0 {
+				return nil
+			}
+			// Before publication: run the writer (thread 0). After: starve
+			// the writer so the reader dereferences the half-built tunnel.
+			want := 0
+			if published {
+				want = 1
+			}
+			for _, th := range runnable {
+				if th.ID == want {
+					return th
+				}
+			}
+			return runnable[0]
+		})
+		res := env.RunPair(l2tpWriterProg(), l2tpReaderProg(), sched, nil)
+		if tc.wantCrash {
+			if !res.Crashed() {
+				t.Fatalf("%s: expected null-deref panic, got none (console: %v)", tc.version, res.Console)
+			}
+			found := false
+			for _, f := range res.Faults {
+				if strings.Contains(f, "NULL pointer dereference") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: crash was not a null deref: %v", tc.version, res.Faults)
+			}
+		} else if res.Crashed() {
+			t.Fatalf("%s: unexpected crash: %v", tc.version, res.Faults)
+		}
+	}
+}
+
+func TestSnapshotIsolationAcrossRuns(t *testing.T) {
+	env := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	prog := l2tpReaderProg()
+	var first, second trace.Trace
+	r1 := env.RunSequential(prog, &first)
+	r2 := env.RunSequential(prog, &second)
+	if r1.Crashed() || r2.Crashed() {
+		t.Fatalf("crash: %v %v", r1.Faults, r2.Faults)
+	}
+	if first.Len() != second.Len() {
+		t.Fatalf("runs from same snapshot differ in length: %d vs %d", first.Len(), second.Len())
+	}
+	for i := range first.Accesses {
+		a, b := first.Accesses[i], second.Accesses[i]
+		a.Seq, b.Seq = 0, 0
+		a.Locks, b.Locks = nil, nil
+		if a.Ins != b.Ins || a.Addr != b.Addr || a.Val != b.Val || a.Kind != b.Kind || a.Size != b.Size {
+			t.Fatalf("access %d differs across identical runs:\n%+v\n%+v", i, first.Accesses[i], second.Accesses[i])
+		}
+	}
+}
+
+func TestPairDuplicateL2TPSequentialOrderIsSafe(t *testing.T) {
+	env := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	// Run writer fully, then reader (SeqScheduler): reader finds the fully
+	// initialized tunnel, so no crash even in the buggy build.
+	res := env.RunPair(l2tpWriterProg(), l2tpReaderProg(), vm.SeqScheduler{}, nil)
+	if res.Crashed() {
+		t.Fatalf("sequentialized pair crashed: %v", res.Faults)
+	}
+}
+
+func TestNewEnvWithSetupChangesInitialState(t *testing.T) {
+	// The setup program registers tunnel 1; tests starting from this state
+	// find it already present, unlike from the plain boot snapshot.
+	setup := l2tpWriterProg()
+	env, err := NewEnvWithSetup(kernel.Config{Version: kernel.V5_12_RC3}, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := l2tpReaderProg()
+	accsSetup, _, res := env.Profile(probe)
+	if res.Crashed() {
+		t.Fatalf("probe crashed: %v", res.Faults)
+	}
+
+	plain := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	accsPlain, _, res2 := plain.Profile(probe)
+	if res2.Crashed() {
+		t.Fatalf("probe crashed on plain env: %v", res2.Faults)
+	}
+	// From the enriched state the reader finds the tunnel instead of
+	// registering one, so its profile is strictly shorter.
+	if len(accsSetup) >= len(accsPlain) {
+		t.Fatalf("setup state did not change behavior: %d vs %d accesses", len(accsSetup), len(accsPlain))
+	}
+	// And the enriched environment must be repeatable like any snapshot.
+	again, _, _ := env.Profile(probe)
+	if len(again) != len(accsSetup) {
+		t.Fatalf("setup snapshot not stable: %d vs %d", len(again), len(accsSetup))
+	}
+}
+
+func TestNewEnvWithSetupRejectsCrashingSetup(t *testing.T) {
+	// A setup program that panics the kernel cannot define an initial state.
+	bad := &corpus.Prog{Calls: []corpus.Call{
+		{Nr: kernel.SysMsggetNr, Args: []corpus.Arg{corpus.Const(0)}}, // EINVAL, harmless
+	}}
+	if _, err := NewEnvWithSetup(kernel.Config{Version: kernel.V5_12_RC3}, bad); err != nil {
+		t.Fatalf("harmless setup rejected: %v", err)
+	}
+}
+
+func TestRunManyThreeProcs(t *testing.T) {
+	env := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	progs := []*corpus.Prog{l2tpWriterProg(), l2tpReaderProg(), l2tpReaderProg()}
+	res := env.RunMany(progs, vm.SeqScheduler{}, nil)
+	if res.Crashed() {
+		t.Fatalf("sequentialized triple crashed: %v", res.Faults)
+	}
+	if len(res.Rets) != 3 {
+		t.Fatalf("rets for %d threads", len(res.Rets))
+	}
+	for i, rets := range res.Rets {
+		for j, r := range rets {
+			if r < 0 {
+				t.Fatalf("thread %d call %d failed: %d", i, j, r)
+			}
+		}
+	}
+}
+
+func TestMaxStepsHang(t *testing.T) {
+	env := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	env.MaxSteps = 10 // far too small for any test
+	res := env.RunSequential(l2tpReaderProg(), nil)
+	if !res.Hung {
+		t.Fatal("step-limited run not reported as hung")
+	}
+}

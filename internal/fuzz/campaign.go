@@ -1,0 +1,58 @@
+package fuzz
+
+import (
+	"snowboard/internal/corpus"
+	"snowboard/internal/exec"
+	"snowboard/internal/trace"
+)
+
+// CampaignResult is the outcome of a fuzzing campaign: the selected corpus
+// plus the statistics Snowboard reports.
+type CampaignResult struct {
+	Corpus    *corpus.Corpus
+	Executed  int // programs executed (including rejected duplicates)
+	Selected  int // programs kept for new coverage
+	Crashes   int // sequential executions that crashed the kernel (rare; discarded)
+	EdgeCount int
+}
+
+// Campaign runs a coverage-guided fuzzing campaign of budget executions on
+// env, seeded deterministically, and returns the selected corpus. It
+// mirrors the paper's setup: the generator produces a large redundant
+// stream; only tests contributing new edge coverage are kept (§4.1.1).
+func Campaign(env *exec.Env, seed int64, budget, maxKeep int) CampaignResult {
+	g := NewGenerator(seed)
+	cov := NewCoverage()
+	out := CampaignResult{Corpus: corpus.NewCorpus()}
+	var tr trace.Trace
+
+	for out.Executed < budget {
+		var p *corpus.Prog
+		// Mostly mutate existing corpus entries once one exists, like
+		// Syzkaller; otherwise generate fresh.
+		if out.Corpus.Len() > 0 && g.rng.Intn(3) != 0 {
+			p = g.Mutate(out.Corpus.Progs[g.rng.Intn(out.Corpus.Len())])
+		} else {
+			p = g.Generate()
+		}
+		out.Executed++
+		res := env.RunSequential(p, &tr)
+		env.M.SetTrace(nil)
+		if res.Crashed() || res.Hung || res.Deadlock {
+			// A sequential test should not crash the kernel; such programs
+			// are discarded (and would be reported as sequential bugs).
+			out.Crashes++
+			continue
+		}
+		if n := cov.Merge(EdgesOf(&tr)); n > 0 {
+			if out.Corpus.Add(p) {
+				out.Selected++
+			}
+		}
+		if maxKeep > 0 && out.Corpus.Len() >= maxKeep {
+			break
+		}
+	}
+	out.EdgeCount = cov.Len()
+	return out
+}

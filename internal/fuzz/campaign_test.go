@@ -1,0 +1,27 @@
+package fuzz
+
+import (
+	"testing"
+
+	"snowboard/internal/exec"
+	"snowboard/internal/kernel"
+)
+
+func TestCampaignSmoke(t *testing.T) {
+	env := exec.NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	res := Campaign(env, 1, 300, 0)
+	t.Logf("executed=%d selected=%d crashes=%d edges=%d", res.Executed, res.Selected, res.Crashes, res.EdgeCount)
+	if res.Corpus.Len() < 10 {
+		t.Fatalf("corpus too small: %d", res.Corpus.Len())
+	}
+	if res.Crashes > 0 {
+		t.Fatalf("sequential executions crashed the kernel: %d", res.Crashes)
+	}
+	if res.EdgeCount == 0 {
+		t.Fatal("no coverage accumulated")
+	}
+	// A healthy campaign exercises a good spread of the syscall surface.
+	if h := res.Corpus.SyscallHistogram(); len(h) < 12 {
+		t.Fatalf("syscall diversity too low: %v", h)
+	}
+}

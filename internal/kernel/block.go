@@ -1,0 +1,109 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// Block layer: a single block device backing the filesystem. Carries the
+// writer side of issues #5 and #6 (set_blocksize under bd_mutex against
+// lockless readers in mm and fs) and issue #4 (blk_update_request observes
+// a block size that changed after the request was sized — an I/O error).
+
+// struct block_device layout.
+const (
+	bdevOffMutex     = 0
+	bdevOffBlockSize = 8 // issues #4, #5 target
+	bdevOffReqCount  = 16
+	bdevOffInflight  = 24
+	bdevOffOpeners   = 32
+	bdevStructSz     = 40
+)
+
+var (
+	insBdMutexLock    = trace.DefIns("blkdev_ioctl:bd_mutex_lock")
+	insBdMutexUnlock  = trace.DefIns("blkdev_ioctl:bd_mutex_unlock")
+	insSetBlocksize   = trace.DefIns("set_blocksize:store_bd_block_size")
+	insSetBlkbits     = trace.DefIns("set_blocksize:store_sb_blkbits")
+	insMpageLoadBits  = trace.DefIns("do_mpage_readpage:load_sb_blkbits")
+	insBioLoadBS      = trace.DefIns("submit_bio:load_bd_block_size")
+	insBioReqCount    = trace.DefIns("submit_bio:store_req_count")
+	insBioLoadReq     = trace.DefIns("submit_bio:load_req_count")
+	insBlkUpdateLoad  = trace.DefIns("blk_update_request:load_bd_block_size")
+	insBlkInflightInc = trace.DefIns("blk_mq_start_request:inc_inflight")
+	insBlkInflightDec = trace.DefIns("blk_mq_end_request:dec_inflight")
+	insBdevOpenCount  = trace.DefIns("blkdev_get:inc_openers")
+)
+
+func (k *Kernel) bootBlock() {
+	k.G.Bdev = k.staticAlloc(bdevStructSz)
+	k.put(k.G.Bdev+bdevOffBlockSize, 4096)
+}
+
+// BlkdevGet accounts an opener of the block device (open("/dev/sda")).
+func (k *Kernel) BlkdevGet(t *vm.Thread) {
+	t.Lock(insBdMutexLock, k.G.Bdev+bdevOffMutex)
+	n := t.Load(insBdevOpenCount, k.G.Bdev+bdevOffOpeners, 8)
+	t.Store(insBdevOpenCount, k.G.Bdev+bdevOffOpeners, 8, n+1)
+	t.Unlock(insBdMutexUnlock, k.G.Bdev+bdevOffMutex)
+}
+
+// SetBlocksize changes the device block size under bd_mutex and mirrors it
+// into the superblock's blkbits. Readers in generic_fadvise (issue #5) and
+// do_mpage_readpage (issue #6) take no lock.
+func (k *Kernel) SetBlocksize(t *vm.Thread, size uint64) int64 {
+	if size < 512 || size > 4096 || size&(size-1) != 0 {
+		return errRet(EINVAL)
+	}
+	t.Lock(insBdMutexLock, k.G.Bdev+bdevOffMutex)
+	t.Store(insSetBlocksize, k.G.Bdev+bdevOffBlockSize, 8, size)
+	bits := uint64(9)
+	for 1<<bits < size {
+		bits++
+	}
+	t.Store(insSetBlkbits, k.G.Ext4Sb+sbOffBlkbits, 8, bits)
+	t.Unlock(insBdMutexUnlock, k.G.Bdev+bdevOffMutex)
+	return 0
+}
+
+// DoMpageReadpage maps a page worth of blocks for a read. It loads the
+// superblock's blkbits with a plain, lockless read (issue #6 reader).
+func (k *Kernel) DoMpageReadpage(t *vm.Thread) int64 {
+	bits := t.Load(insMpageLoadBits, k.G.Ext4Sb+sbOffBlkbits, 8)
+	if bits < 9 || bits > 12 {
+		return errRet(EINVAL)
+	}
+	return 0
+}
+
+// SubmitBio sizes a request from the current block size, starts it, and
+// completes it through blk_update_request, which re-reads the block size
+// (issue #4): if set_blocksize ran in between, the request length no longer
+// matches and the kernel logs a lost-I/O error.
+func (k *Kernel) SubmitBio(t *vm.Thread, size uint64) int64 {
+	bs := t.Load(insBioLoadBS, k.G.Bdev+bdevOffBlockSize, 8)
+	nsect := (size + bs - 1) / bs
+	if nsect == 0 {
+		nsect = 1
+	}
+	// Request accounting uses atomic (marked) RMWs, like the real block
+	// layer's percpu/atomic counters.
+	reqs := t.LoadMarked(insBioLoadReq, k.G.Bdev+bdevOffReqCount, 8)
+	t.StoreMarked(insBioReqCount, k.G.Bdev+bdevOffReqCount, 8, reqs+1)
+
+	inflight := t.LoadMarked(insBlkInflightInc, k.G.Bdev+bdevOffInflight, 8)
+	t.StoreMarked(insBlkInflightInc, k.G.Bdev+bdevOffInflight, 8, inflight+1)
+
+	// blk_update_request: the device completes nsect sectors computed with
+	// the *current* block size; a mismatch is an I/O error.
+	cur := t.Load(insBlkUpdateLoad, k.G.Bdev+bdevOffBlockSize, 8)
+	rc := int64(0)
+	if cur != bs {
+		k.printk("blk_update_request: I/O error, dev sda, sector %d op 0x0:(READ) flags 0x0", nsect*8)
+		rc = errRet(EINVAL)
+	}
+
+	inflight = t.LoadMarked(insBlkInflightDec, k.G.Bdev+bdevOffInflight, 8)
+	t.StoreMarked(insBlkInflightDec, k.G.Bdev+bdevOffInflight, 8, inflight-1)
+	return rc
+}

@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// configfs, carrying issue #11: configfs_lookup() iterated the directory's
+// dirent list without holding configfs_dirent_lock, so a concurrent rmdir
+// detaching an entry (zeroing its s_element) made the lookup dereference
+// null. Fixed upstream by taking the lock in lookup; the 5.12-rc3 build
+// here models the unfixed code.
+
+// struct configfs_dirent layout (kmalloc'd).
+const (
+	cfsDirentOffNext    = 0
+	cfsDirentOffElement = 8  // pointer to the config_item; zeroed on detach
+	cfsDirentOffHash    = 16 // name hash used by lookup
+	cfsDirentStructSz   = 32
+)
+
+// struct config_item layout (kmalloc'd).
+const (
+	cfsItemOffName   = 0
+	cfsItemOffRefcnt = 8
+	cfsItemStructSz  = 16
+)
+
+// configfs root directory header layout (static).
+const (
+	cfsDirOffLock     = 0
+	cfsDirOffChildren = 8
+	cfsDirStructSz    = 16
+)
+
+var (
+	insCfsLock        = trace.DefIns("configfs_dirent_lock:acquire")
+	insCfsUnlock      = trace.DefIns("configfs_dirent_lock:release")
+	insCfsMkdirItem   = trace.DefIns("configfs_mkdir:store_item_name")
+	insCfsMkdirElem   = trace.DefIns("configfs_mkdir:store_s_element")
+	insCfsMkdirHash   = trace.DefIns("configfs_mkdir:store_name_hash")
+	insCfsMkdirLink   = trace.DefIns("configfs_mkdir:list_add_head")
+	insCfsMkdirNext   = trace.DefIns("configfs_mkdir:store_next")
+	insCfsLookupHead  = trace.DefIns("configfs_lookup:load_children_head")
+	insCfsLookupHash  = trace.DefIns("configfs_lookup:load_name_hash")
+	insCfsLookupElem  = trace.DefIns("configfs_lookup:load_s_element")
+	insCfsLookupDeref = trace.DefIns("configfs_lookup:load_item_name")
+	insCfsLookupNext  = trace.DefIns("configfs_lookup:load_next")
+	insCfsRmdirHead   = trace.DefIns("configfs_rmdir:load_children_head")
+	insCfsRmdirHash   = trace.DefIns("configfs_rmdir:load_name_hash")
+	insCfsRmdirClear  = trace.DefIns("configfs_detach_item:clear_s_element")
+	insCfsRmdirUnlink = trace.DefIns("configfs_rmdir:list_del")
+	insCfsRmdirNext   = trace.DefIns("configfs_rmdir:load_next")
+	insCfsItemRef     = trace.DefIns("config_item_get:refcount_inc")
+)
+
+func (k *Kernel) bootConfigfs() {
+	k.G.ConfigfsDir = k.staticAlloc(cfsDirStructSz)
+	// Pre-populate a few directories so lookups walk a real list.
+	head := uint64(0)
+	for i := 0; i < 4; i++ {
+		item := k.bootAlloc(cfsItemStructSz)
+		d := k.bootAlloc(cfsDirentStructSz)
+		k.put(item+cfsItemOffName, uint64(0x100+i))
+		k.put(d+cfsDirentOffElement, item)
+		k.put(d+cfsDirentOffHash, uint64(0x100+i))
+		k.put(d+cfsDirentOffNext, head)
+		head = d
+	}
+	k.put(k.G.ConfigfsDir+cfsDirOffChildren, head)
+}
+
+// ConfigfsMkdir creates /config/<name-hash h> under the dirent lock.
+func (k *Kernel) ConfigfsMkdir(t *vm.Thread, h uint64) int64 {
+	if h == 0 {
+		return errRet(EINVAL)
+	}
+	dir := k.G.ConfigfsDir
+	t.Lock(insCfsLock, dir+cfsDirOffLock)
+	item := k.Kzalloc(t, cfsItemStructSz)
+	d := k.Kzalloc(t, cfsDirentStructSz)
+	if item == 0 || d == 0 {
+		t.Unlock(insCfsUnlock, dir+cfsDirOffLock)
+		return errRet(ENOMEM)
+	}
+	t.Store(insCfsMkdirItem, item+cfsItemOffName, 8, h)
+	t.Store(insCfsMkdirElem, d+cfsDirentOffElement, 8, item)
+	t.Store(insCfsMkdirHash, d+cfsDirentOffHash, 8, h)
+	head := t.Load(insCfsLookupHead, dir+cfsDirOffChildren, 8)
+	t.Store(insCfsMkdirNext, d+cfsDirentOffNext, 8, head)
+	t.Store(insCfsMkdirLink, dir+cfsDirOffChildren, 8, d)
+	t.Unlock(insCfsUnlock, dir+cfsDirOffLock)
+	return 0
+}
+
+// ConfigfsLookup resolves /config/<h>. In the unfixed 5.12-rc3 code the
+// list walk takes no lock (issue #11); a detach that zeroes s_element
+// between the element load's neighbours causes a null dereference of the
+// item. Returns the item address or 0.
+func (k *Kernel) ConfigfsLookup(t *vm.Thread, h uint64) int64 {
+	dir := k.G.ConfigfsDir
+	locked := !k.is5_12() // the fix (c42dd069be8d) takes the dirent lock
+	if locked {
+		t.Lock(insCfsLock, dir+cfsDirOffLock)
+	}
+	cur := t.Load(insCfsLookupHead, dir+cfsDirOffChildren, 8)
+	var ret int64 = errRet(ENOENT)
+	for cur != 0 {
+		hash := t.Load(insCfsLookupHash, cur+cfsDirentOffHash, 8)
+		if hash == h {
+			el := t.Load(insCfsLookupElem, cur+cfsDirentOffElement, 8)
+			// configfs_attach_dentry dereferences sd->s_element with no
+			// null check: detach may have cleared it (kernel panic).
+			name := t.Load(insCfsLookupDeref, el+cfsItemOffName, 8)
+			ref := t.LoadMarked(insCfsItemRef, el+cfsItemOffRefcnt, 8)
+			t.StoreMarked(insCfsItemRef, el+cfsItemOffRefcnt, 8, ref+1)
+			_ = name
+			ret = int64(el)
+			break
+		}
+		cur = t.Load(insCfsLookupNext, cur+cfsDirentOffNext, 8)
+	}
+	if locked {
+		t.Unlock(insCfsUnlock, dir+cfsDirOffLock)
+	}
+	return ret
+}
+
+// ConfigfsRmdir removes /config/<h>: under the dirent lock it clears the
+// dirent's s_element (configfs_detach_item — the issue #11 writer), unlinks
+// it, and frees both objects.
+func (k *Kernel) ConfigfsRmdir(t *vm.Thread, h uint64) int64 {
+	dir := k.G.ConfigfsDir
+	t.Lock(insCfsLock, dir+cfsDirOffLock)
+	prev := uint64(0)
+	cur := t.Load(insCfsRmdirHead, dir+cfsDirOffChildren, 8)
+	for cur != 0 {
+		hash := t.Load(insCfsRmdirHash, cur+cfsDirentOffHash, 8)
+		if hash == h {
+			item := t.Load(insCfsLookupElem, cur+cfsDirentOffElement, 8)
+			t.Store(insCfsRmdirClear, cur+cfsDirentOffElement, 8, 0) // detach
+			next := t.Load(insCfsRmdirNext, cur+cfsDirentOffNext, 8)
+			if prev == 0 {
+				t.Store(insCfsRmdirUnlink, dir+cfsDirOffChildren, 8, next)
+			} else {
+				t.Store(insCfsRmdirUnlink, prev+cfsDirentOffNext, 8, next)
+			}
+			t.Unlock(insCfsUnlock, dir+cfsDirOffLock)
+			if item != 0 {
+				k.Kfree(t, item, cfsItemStructSz)
+			}
+			k.Kfree(t, cur, cfsDirentStructSz)
+			return 0
+		}
+		prev = cur
+		cur = t.Load(insCfsRmdirNext, cur+cfsDirentOffNext, 8)
+	}
+	t.Unlock(insCfsUnlock, dir+cfsDirOffLock)
+	return errRet(ENOENT)
+}

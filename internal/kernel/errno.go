@@ -1,0 +1,24 @@
+package kernel
+
+// Errno values returned by the simulated system calls, negated on return as
+// in the Linux syscall ABI.
+const (
+	EPERM     = 1
+	ENOENT    = 2
+	EBADF     = 9
+	ENOMEM    = 12
+	EEXIST    = 17
+	ENODEV    = 19
+	ENOTDIR   = 20
+	EINVAL    = 22
+	ENOSPC    = 28
+	EMSGSIZE  = 90
+	ENOTCONN  = 107
+	EALREADY  = 114
+	EMFILE    = 24
+	ENOTTY    = 25
+	EOPNOTSUP = 95
+)
+
+// errRet converts a positive errno into the negative syscall return value.
+func errRet(errno int64) int64 { return -errno }

@@ -1,0 +1,269 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// A miniature ext4: a superblock, a fixed table of inodes with single block
+// pointers, per-inode checksums, and extent headers. It carries the two
+// atomicity violations of Table 2's filesystem rows: issue #2
+// (swap_inode_boot_loader leaves a stale checksum when a write interleaves)
+// and issue #3 (the extent header magic is transiently invalid during a
+// grow and a lockless reader trips over it).
+
+// struct super_block layout.
+const (
+	sbOffLock       = 0
+	sbOffBlkbits    = 8 // issue #6 target (set_blocksize writer / mpage reader)
+	sbOffMountCount = 16
+	sbOffMagic      = 24
+	sbOffGeneration = 32
+	sbStructSz      = 40
+)
+
+// struct ext4_inode layout; NumInodes inodes sit contiguously at G.Ext4Inodes.
+const (
+	inoOffLock      = 0
+	inoOffBlock     = 8  // single data block pointer (issue #2 target)
+	inoOffCsum      = 16 // checksum over block (issue #2 witness)
+	inoOffSize      = 24
+	inoOffEhMagic   = 32 // extent header magic (issue #3 target)
+	inoOffEhEntries = 40
+	inoOffEhDepth   = 48
+	inoOffNlink     = 56
+	InodeSize       = 64
+)
+
+// NumInodes is the size of the static inode table. Inode 0 is the boot
+// loader inode used by EXT4_IOC_SWAP_BOOT.
+const NumInodes = 6
+
+// Ext4ExtMagic is the on-disk extent header magic (as in fs/ext4).
+const Ext4ExtMagic = 0xF30A
+
+var (
+	insSbLock        = trace.DefIns("ext4_sb:lock")
+	insSbUnlock      = trace.DefIns("ext4_sb:unlock")
+	insInodeLock     = trace.DefIns("ext4_inode:lock")
+	insInodeUnlock   = trace.DefIns("ext4_inode:unlock")
+	insWriteBlock    = trace.DefIns("ext4_file_write_iter:store_i_block")
+	insWriteCsum     = trace.DefIns("ext4_file_write_iter:store_i_csum")
+	insWriteSize     = trace.DefIns("ext4_file_write_iter:store_i_size")
+	insWriteEntries  = trace.DefIns("ext4_ext_insert_extent:store_eh_entries")
+	insSwapLoadBoot  = trace.DefIns("swap_inode_boot_loader:load_boot_block")
+	insSwapLoadTgt   = trace.DefIns("swap_inode_boot_loader:load_target_block")
+	insSwapStoreBoot = trace.DefIns("swap_inode_boot_loader:store_boot_block")
+	insSwapStoreTgt  = trace.DefIns("swap_inode_boot_loader:store_target_block")
+	insSwapCsumBoot  = trace.DefIns("swap_inode_boot_loader:store_boot_csum")
+	insSwapCsumTgt   = trace.DefIns("swap_inode_boot_loader:store_target_csum")
+	insExtCheckMagic = trace.DefIns("ext4_ext_check_inode:load_eh_magic")
+	insExtCheckEnt   = trace.DefIns("ext4_ext_check_inode:load_eh_entries")
+	insGrowClear     = trace.DefIns("ext4_extent_grow:clear_eh_magic")
+	insGrowEntries   = trace.DefIns("ext4_extent_grow:store_eh_entries")
+	insGrowDepth     = trace.DefIns("ext4_extent_grow:store_eh_depth")
+	insGrowRestore   = trace.DefIns("ext4_extent_grow:restore_eh_magic")
+	insReadBlock     = trace.DefIns("ext4_file_read_iter:load_i_block")
+	insReadSize      = trace.DefIns("ext4_file_read_iter:load_i_size")
+	insRenameNlink   = trace.DefIns("ext4_rename:store_nlink")
+	insMountCount    = trace.DefIns("ext4_remount:store_mount_count")
+	insMountLoadCnt  = trace.DefIns("ext4_remount:load_mount_count")
+	insMountCsum1    = trace.DefIns("ext4_remount:verify_csum_first")
+	insMountCsum2    = trace.DefIns("ext4_remount:verify_csum_second")
+	insMountBlock    = trace.DefIns("ext4_remount:load_i_block")
+	insIgetCsum      = trace.DefIns("ext4_iget:load_i_csum")
+	insIgetBlock     = trace.DefIns("ext4_iget:load_i_block")
+)
+
+func (k *Kernel) bootExt4() {
+	k.G.Ext4Sb = k.staticAlloc(sbStructSz)
+	k.G.Ext4Inodes = k.staticAlloc(NumInodes * InodeSize)
+	k.put(k.G.Ext4Sb+sbOffBlkbits, 12) // 4KB blocks
+	k.put(k.G.Ext4Sb+sbOffMagic, 0xEF53)
+	k.put(k.G.Ext4Sb+sbOffGeneration, 7)
+	for i := 0; i < NumInodes; i++ {
+		ino := k.InodeAddr(i)
+		blk := uint64(100 + i)
+		k.put(ino+inoOffBlock, blk)
+		k.put(ino+inoOffCsum, ext4Csum(blk, 7))
+		k.put(ino+inoOffSize, 4096)
+		k.put(ino+inoOffEhMagic, Ext4ExtMagic)
+		k.put(ino+inoOffEhEntries, 1)
+		k.put(ino+inoOffNlink, 1)
+	}
+}
+
+// InodeAddr returns the guest address of inode i.
+func (k *Kernel) InodeAddr(i int) uint64 {
+	if i < 0 || i >= NumInodes {
+		panic("kernel: inode index out of range")
+	}
+	return k.G.Ext4Inodes + uint64(i)*InodeSize
+}
+
+// ext4Csum is the simulated metadata checksum of a block pointer.
+func ext4Csum(block, generation uint64) uint64 {
+	return block*0x9E3779B1 + generation
+}
+
+// Ext4FileWrite writes to the file: it installs a new data block, updates
+// the checksum and size under the inode lock, and records one extent. The
+// interleaving hazard is on the *other* side (swap_boot uses the sb lock).
+func (k *Kernel) Ext4FileWrite(t *vm.Thread, ino uint64, blockVal, size uint64) int64 {
+	t.Lock(insInodeLock, ino+inoOffLock)
+	t.Store(insWriteBlock, ino+inoOffBlock, 8, blockVal)
+	t.Store(insWriteCsum, ino+inoOffCsum, 8, ext4Csum(blockVal, 7))
+	t.Store(insWriteSize, ino+inoOffSize, 8, size)
+	ent := t.Load(insExtCheckEnt, ino+inoOffEhEntries, 8)
+	t.Store(insWriteEntries, ino+inoOffEhEntries, 8, ent)
+	t.Unlock(insInodeUnlock, ino+inoOffLock)
+	// Data goes to the block device.
+	return k.SubmitBio(t, size)
+}
+
+// Ext4SwapBootLoader implements EXT4_IOC_SWAP_BOOT for the target inode:
+// it swaps the boot inode's and the target's block pointers and rewrites
+// both checksums. Issue #2: it serializes on the superblock lock while the
+// write path serializes on the inode lock, so a concurrent write between
+// the target-block load and the checksum store leaves csum != f(block) —
+// the "swap_inode_boot_loader: checksum invalid" filesystem error.
+func (k *Kernel) Ext4SwapBootLoader(t *vm.Thread, target uint64) int64 {
+	boot := k.InodeAddr(0)
+	if target == boot {
+		return errRet(EINVAL)
+	}
+	t.Lock(insSbLock, k.G.Ext4Sb+sbOffLock)
+	a := t.Load(insSwapLoadBoot, boot+inoOffBlock, 8)
+	b := t.Load(insSwapLoadTgt, target+inoOffBlock, 8)
+	t.Store(insSwapStoreBoot, boot+inoOffBlock, 8, b)
+	t.Store(insSwapStoreTgt, target+inoOffBlock, 8, a)
+	t.Store(insSwapCsumBoot, boot+inoOffCsum, 8, ext4Csum(b, 7))
+	t.Store(insSwapCsumTgt, target+inoOffCsum, 8, ext4Csum(a, 7))
+	t.Unlock(insSbUnlock, k.G.Ext4Sb+sbOffLock)
+	return 0
+}
+
+// Ext4ExtCheckInode validates the extent header before use. The reader
+// takes no lock (issue #3): when it observes the transiently cleared magic
+// written by Ext4ExtentGrow it reports the on-disk corruption error.
+func (k *Kernel) Ext4ExtCheckInode(t *vm.Thread, ino uint64) int64 {
+	magic := t.Load(insExtCheckMagic, ino+inoOffEhMagic, 8)
+	if magic != Ext4ExtMagic {
+		inoNum := (ino - k.G.Ext4Inodes) / InodeSize
+		k.printk("EXT4-fs error (device sda): ext4_ext_check_inode:444: inode #%d: comm test: pblk 0 bad header/extent: invalid magic - magic %x, entries 0",
+			inoNum, magic)
+		return errRet(EINVAL)
+	}
+	ent := t.Load(insExtCheckEnt, ino+inoOffEhEntries, 8)
+	_ = ent
+	return 0
+}
+
+// Ext4ExtentGrow deepens the extent tree of the inode under the inode lock,
+// transiently clearing the header magic while the header is rewritten (the
+// issue #3 writer; reached through rename(2), which rebalances the tree).
+func (k *Kernel) Ext4ExtentGrow(t *vm.Thread, ino uint64) {
+	t.Lock(insInodeLock, ino+inoOffLock)
+	t.Store(insGrowClear, ino+inoOffEhMagic, 8, 0) // header invalid during rewrite
+	ent := t.Load(insExtCheckEnt, ino+inoOffEhEntries, 8)
+	t.Store(insGrowEntries, ino+inoOffEhEntries, 8, ent+1)
+	t.Store(insGrowDepth, ino+inoOffEhDepth, 8, 1)
+	t.Store(insGrowRestore, ino+inoOffEhMagic, 8, Ext4ExtMagic)
+	t.Unlock(insInodeUnlock, ino+inoOffLock)
+}
+
+// Ext4FileRead reads the file's block through the page cache path:
+// extent check (lockless), then block mapping and a block-device request.
+func (k *Kernel) Ext4FileRead(t *vm.Thread, ino uint64) int64 {
+	if rc := k.Ext4ExtCheckInode(t, ino); rc != 0 {
+		return rc
+	}
+	// Block mapping happens under the inode lock (as the real read path
+	// holds the page/buffer locks for the mapped range).
+	t.Lock(insInodeLock, ino+inoOffLock)
+	sz := t.Load(insReadSize, ino+inoOffSize, 8)
+	blk := t.Load(insReadBlock, ino+inoOffBlock, 8)
+	t.Unlock(insInodeUnlock, ino+inoOffLock)
+	_ = blk
+	if rc := k.DoMpageReadpage(t); rc != 0 {
+		return rc
+	}
+	if sz > 4096 {
+		sz = 4096
+	}
+	return int64(sz)
+}
+
+// Ext4Rename relinks the inode (nlink bump under the inode lock) and grows
+// its extent tree, exercising the issue #3 writer.
+func (k *Kernel) Ext4Rename(t *vm.Thread, ino uint64) int64 {
+	t.Lock(insInodeLock, ino+inoOffLock)
+	n := t.Load(insExtCheckEnt, ino+inoOffNlink, 8)
+	t.Store(insRenameNlink, ino+inoOffNlink, 8, n)
+	t.Unlock(insInodeUnlock, ino+inoOffLock)
+	k.Ext4ExtentGrow(t, ino)
+	return 0
+}
+
+// Ext4Remount walks the whole inode table verifying checksums, reading each
+// one twice (check, then use) — the heavyweight, double-fetch-rich call
+// that gives mount()-containing tests the profile §5.3.1 attributes to
+// S-CH-DOUBLE selections. Mismatches print the swap_boot checksum error.
+func (k *Kernel) Ext4Remount(t *vm.Thread) int64 {
+	t.Lock(insSbLock, k.G.Ext4Sb+sbOffLock)
+	cnt := t.Load(insMountLoadCnt, k.G.Ext4Sb+sbOffMountCount, 8)
+	t.Store(insMountCount, k.G.Ext4Sb+sbOffMountCount, 8, cnt+1)
+	bad := int64(0)
+	for i := 0; i < NumInodes; i++ {
+		ino := k.InodeAddr(i)
+		t.Lock(insInodeLock, ino+inoOffLock)
+		c1 := t.Load(insMountCsum1, ino+inoOffCsum, 8)
+		c2 := t.Load(insMountCsum2, ino+inoOffCsum, 8) // double fetch: check, then use
+		blk := t.Load(insMountBlock, ino+inoOffBlock, 8)
+		t.Unlock(insInodeUnlock, ino+inoOffLock)
+		if c1 != c2 || c2 != ext4Csum(blk, 7) {
+			k.printk("EXT4-fs error (device sda): swap_inode_boot_loader:316: inode #%d: comm test: iget: checksum invalid", i)
+			bad++
+		}
+	}
+	t.Unlock(insSbUnlock, k.G.Ext4Sb+sbOffLock)
+	if bad > 0 {
+		return errRet(EINVAL)
+	}
+	return 0
+}
+
+// Ext4Iget re-reads an inode (open path) and verifies its checksum, which
+// is how a stale checksum left by issue #2 becomes a console error.
+func (k *Kernel) Ext4Iget(t *vm.Thread, ino uint64) int64 {
+	t.Lock(insInodeLock, ino+inoOffLock)
+	csum := t.Load(insIgetCsum, ino+inoOffCsum, 8)
+	blk := t.Load(insIgetBlock, ino+inoOffBlock, 8)
+	t.Unlock(insInodeUnlock, ino+inoOffLock)
+	if csum != ext4Csum(blk, 7) {
+		inoNum := (ino - k.G.Ext4Inodes) / InodeSize
+		k.printk("EXT4-fs error (device sda): swap_inode_boot_loader:316: inode #%d: comm test: iget: checksum invalid", inoNum)
+		return errRet(EINVAL)
+	}
+	return 0
+}
+
+// FsckHost is a host-side (untraced) consistency check run by the bug
+// oracles after a trial, modeling the filesystem errors the kernel would
+// report on the next mount. It returns one message per corrupted inode.
+func (k *Kernel) FsckHost() []string {
+	var msgs []string
+	gen := k.M.Mem.Read(k.G.Ext4Sb+sbOffGeneration, 8)
+	for i := 0; i < NumInodes; i++ {
+		ino := k.InodeAddr(i)
+		blk := k.M.Mem.Read(ino+inoOffBlock, 8)
+		csum := k.M.Mem.Read(ino+inoOffCsum, 8)
+		if csum != ext4Csum(blk, gen) {
+			msgs = append(msgs, "EXT4-fs error (device sda): swap_inode_boot_loader: inode checksum invalid")
+		}
+		if k.M.Mem.Read(ino+inoOffEhMagic, 8) != Ext4ExtMagic {
+			msgs = append(msgs, "EXT4-fs error (device sda): ext4_ext_check_inode: invalid magic")
+		}
+	}
+	return msgs
+}

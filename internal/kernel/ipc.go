@@ -1,0 +1,136 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// System V message queues backed by the rhashtable (ipc/util.c uses an
+// rhashtable for key lookup since 4.12). msgget()/msgctl(IPC_RMID) are the
+// syscall pair of Figure 4: the lookup's double-fetched bucket pointer
+// races with removal zeroing the bucket (issue #1, 5.3.10 build).
+
+// struct msg_queue layout (chained in the rhashtable by key).
+const (
+	msqOffKey    = 0 // rhashtable key — also the field memcmp'd on lookup
+	msqOffNext   = 8
+	msqOffID     = 16
+	msqOffQbytes = 24
+	msqOffPerm   = 32
+	msqStructSz  = 64
+)
+
+var (
+	insIpcKeyCmp    = trace.DefIns("ipcget:memcmp_key")
+	insIpcLock      = trace.DefIns("ipcget:ipc_lock")
+	insIpcUnlock    = trace.DefIns("ipcget:ipc_unlock")
+	insMsgNewID     = trace.DefIns("newque:load_id_seq")
+	insMsgStoreID   = trace.DefIns("newque:store_id_seq")
+	insMsgInitKey   = trace.DefIns("newque:store_key")
+	insMsgInitID    = trace.DefIns("newque:store_id")
+	insMsgInitBytes = trace.DefIns("newque:store_qbytes")
+	insMsgInitPerm  = trace.DefIns("newque:store_perm")
+	insMsgCtlLoadID = trace.DefIns("msgctl_down:load_id")
+	insMsgCtlBytes  = trace.DefIns("msgctl_down:store_qbytes")
+	insMsgStatBytes = trace.DefIns("msgctl_stat:load_qbytes")
+)
+
+// bootQueues is the number of message queues pre-registered at boot, so
+// bucket chains are non-trivial and lookups dereference several objects.
+// Four of the eight buckets stay empty: a queue created there by a test is
+// a singleton whose removal zeroes the bucket word — the issue #1 window.
+const bootQueues = 4
+
+func (k *Kernel) bootIPC() {
+	k.G.MsgHT = k.staticAlloc(rhtStructSz)
+	k.G.MsgIDSeq = k.staticAlloc(8)
+	k.G.IpcLock = k.staticAlloc(8)
+	k.G.MsgHTLock = k.staticAlloc(8)
+	k.put(k.G.MsgHT+rhtOffNBuckets, rhtNBuckets)
+	k.put(k.G.MsgIDSeq, 1+bootQueues)
+	for i := 0; i < bootQueues; i++ {
+		key := uint64(0x1000 + i)
+		obj := k.bootAlloc(msqStructSz)
+		k.put(obj+msqOffKey, key)
+		k.put(obj+msqOffID, uint64(1+i))
+		k.put(obj+msqOffQbytes, 16384)
+		k.put(obj+msqOffPerm, 0o600)
+		bkt := rhtBucket(k.G.MsgHT, (key*0x61C88647)%rhtNBuckets)
+		k.put(obj+msqOffNext, k.M.Mem.Read(bkt, 8))
+		k.put(bkt, obj)
+	}
+}
+
+// MsgGet implements msgget(key): look up the queue by key in the
+// rhashtable (the issue #1 reader path) and create it if absent.
+// Returns the queue id.
+func (k *Kernel) MsgGet(t *vm.Thread, key uint64) int64 {
+	if key == 0 {
+		return errRet(EINVAL)
+	}
+	obj := k.RhashtableLookup(t, k.G.MsgHT, key, msqOffKey, msqOffNext, insIpcKeyCmp)
+	if obj != 0 {
+		return int64(t.Load(insMsgCtlLoadID, obj+msqOffID, 8))
+	}
+	// newque: allocate and publish a fresh queue.
+	t.Lock(insIpcLock, k.G.IpcLock)
+	obj = k.Kzalloc(t, msqStructSz)
+	if obj == 0 {
+		t.Unlock(insIpcUnlock, k.G.IpcLock)
+		return errRet(ENOMEM)
+	}
+	id := t.Load(insMsgNewID, k.G.MsgIDSeq, 8)
+	t.Store(insMsgStoreID, k.G.MsgIDSeq, 8, id+1)
+	t.Store(insMsgInitKey, obj+msqOffKey, 8, key)
+	t.Store(insMsgInitID, obj+msqOffID, 8, id)
+	t.Store(insMsgInitBytes, obj+msqOffQbytes, 8, 16384)
+	t.Store(insMsgInitPerm, obj+msqOffPerm, 8, 0o600)
+	k.RhashtableInsert(t, k.G.MsgHT, key, obj, msqOffNext)
+	t.Unlock(insIpcUnlock, k.G.IpcLock)
+	return int64(id)
+}
+
+// msgctl command numbers (subset).
+const (
+	IPCRmid = 0
+	IPCSet  = 1
+	IPCStat = 2
+)
+
+// MsgCtl implements msgctl(key-of-queue, cmd). For simplicity the first
+// argument is the queue *key* (as supplied to msgget); IPC_RMID removes the
+// queue from the rhashtable — rht_assign_unlock zeroing a singleton bucket
+// is the issue #1 writer.
+func (k *Kernel) MsgCtl(t *vm.Thread, key, cmd uint64) int64 {
+	if key == 0 {
+		return errRet(EINVAL)
+	}
+	switch cmd {
+	case IPCRmid:
+		obj := k.RhashtableRemove(t, k.G.MsgHT, key, msqOffKey, msqOffNext, insIpcKeyCmp)
+		if obj == 0 {
+			return errRet(ENOENT)
+		}
+		k.Kfree(t, obj, msqStructSz)
+		return 0
+	case IPCSet:
+		obj := k.RhashtableLookup(t, k.G.MsgHT, key, msqOffKey, msqOffNext, insIpcKeyCmp)
+		if obj == 0 {
+			return errRet(ENOENT)
+		}
+		t.Lock(insIpcLock, k.G.IpcLock)
+		t.Store(insMsgCtlBytes, obj+msqOffQbytes, 8, 32768)
+		t.Unlock(insIpcUnlock, k.G.IpcLock)
+		return 0
+	case IPCStat:
+		obj := k.RhashtableLookup(t, k.G.MsgHT, key, msqOffKey, msqOffNext, insIpcKeyCmp)
+		if obj == 0 {
+			return errRet(ENOENT)
+		}
+		t.Lock(insIpcLock, k.G.IpcLock)
+		qb := t.Load(insMsgStatBytes, obj+msqOffQbytes, 8)
+		t.Unlock(insIpcUnlock, k.G.IpcLock)
+		return int64(qb)
+	}
+	return errRet(EINVAL)
+}

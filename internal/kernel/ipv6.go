@@ -1,0 +1,86 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// IPv6: the raw-socket transmit path (issue #7) and the fib6 routing tree
+// cookie protocol (issue #10, a benign data race: the reader revalidates
+// under the sernum recheck, so a stale read is harmless).
+
+// struct raw6 socket private layout.
+const (
+	raw6OffLock      = 0
+	raw6OffCookie    = 8 // cached fib6 sernum cookie
+	raw6OffRoute     = 16
+	raw6OffBound     = 24
+	raw6SockStructSz = 32
+)
+
+// struct fib6_node layout.
+const (
+	fib6OffSernum = 0 // route-generation counter (issues #10 target)
+	fib6OffRoutes = 8
+	fib6OffLeaf   = 16
+	fib6StructSz  = 32
+)
+
+var (
+	insRawv6LoadMtu   = trace.DefIns("rawv6_send_hdrinc:load_dev_mtu")
+	insRawv6StoreRt   = trace.DefIns("rawv6_send_hdrinc:store_sk_route")
+	insFib6GetCookie  = trace.DefIns("fib6_get_cookie_safe:load_fn_sernum")
+	insFib6Recheck    = trace.DefIns("fib6_get_cookie_safe:recheck_fn_sernum")
+	insFib6StoreCk    = trace.DefIns("fib6_get_cookie_safe:store_dst_cookie")
+	insFib6CleanStore = trace.DefIns("fib6_clean_node:store_fn_sernum")
+	insFib6WLock      = trace.DefIns("fib6_clean_node:write_lock")
+	insFib6WUnlock    = trace.DefIns("fib6_clean_node:write_unlock")
+	insFib6LoadLeaf   = trace.DefIns("fib6_clean_node:load_leaf")
+	insFib6CleanLoad  = trace.DefIns("fib6_clean_node:load_fn_sernum")
+)
+
+func (k *Kernel) bootIPv6() {
+	k.G.Fib6Root = k.staticAlloc(fib6StructSz)
+	k.G.Fib6Lock = k.staticAlloc(8)
+	k.put(k.G.Fib6Root+fib6OffSernum, 1)
+}
+
+// Fib6GetCookieSafe captures the current route-generation cookie into the
+// raw socket. The sernum reads are plain loads with no lock; the writer
+// fib6_clean_node holds the fib6 writer lock — a data race, but benign
+// because the cookie protocol rechecks (the paper classifies #10 benign).
+func (k *Kernel) Fib6GetCookieSafe(t *vm.Thread, rawSock uint64) {
+	sernum := t.Load(insFib6GetCookie, k.G.Fib6Root+fib6OffSernum, 8)
+	again := t.Load(insFib6Recheck, k.G.Fib6Root+fib6OffSernum, 8)
+	if again != sernum {
+		sernum = again // revalidated; stale observation discarded
+	}
+	t.Store(insFib6StoreCk, rawSock+raw6OffCookie, 8, sernum)
+}
+
+// Fib6CleanNode bumps the route generation under the fib6 writer lock
+// (route deletion / GC path, reached through ioctl(SIOCDELRT)).
+func (k *Kernel) Fib6CleanNode(t *vm.Thread) {
+	t.Lock(insFib6WLock, k.G.Fib6Lock)
+	leaf := t.Load(insFib6LoadLeaf, k.G.Fib6Root+fib6OffLeaf, 8)
+	_ = leaf
+	cur := t.Load(insFib6CleanLoad, k.G.Fib6Root+fib6OffSernum, 8)
+	t.Store(insFib6CleanStore, k.G.Fib6Root+fib6OffSernum, 8, cur+1)
+	t.Unlock(insFib6WUnlock, k.G.Fib6Lock)
+}
+
+// Rawv6SendHdrinc transmits a raw IPv6 packet with a caller-supplied
+// header. It reads dev->mtu with a plain load under rcu_read_lock only,
+// racing with __dev_set_mtu's RTNL-protected store (issue #7).
+func (k *Kernel) Rawv6SendHdrinc(t *vm.Thread, rawSock, size uint64) int64 {
+	t.RCUReadLock()
+	mtu := t.Load(insRawv6LoadMtu, k.G.Eth0+devOffMtu, 8)
+	if size > mtu {
+		t.RCUReadUnlock()
+		return errRet(EMSGSIZE)
+	}
+	t.Store(insRawv6StoreRt, rawSock+raw6OffRoute, 8, k.G.Fib6Root)
+	k.DevQueueXmit(t, k.G.Eth0, size)
+	t.RCUReadUnlock()
+	return int64(size)
+}

@@ -1,0 +1,177 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// L2TP tunnels (net/l2tp), carrying issue #12 — the paper's Figure 1 bug:
+// l2tp_tunnel_register() publishes a tunnel on the RCU tunnel list *before*
+// initializing its sock field. A concurrent pppol2tp_connect() that looks up
+// the same tunnel ID retrieves the half-initialized tunnel, and the
+// subsequent l2tp_xmit_core() dereferences the null sock — a kernel panic
+// that is an order violation, not a data race (all list accesses are
+// properly RCU-annotated).
+
+// struct l2tp_tunnel layout.
+const (
+	tunOffID       = 0  // tunnel id looked up by pppol2tp_connect
+	tunOffNext     = 8  // RCU list linkage
+	tunOffSock     = 16 // pointer to the tunnel's UDP socket (late-initialized)
+	tunOffRefcnt   = 24
+	tunOffFlags    = 32
+	tunOffDebug    = 40
+	tunnelStructSz = 64
+)
+
+// struct pppol2tp socket private layout.
+const (
+	pppOffLock      = 0
+	pppOffState     = 8
+	pppOffTunnel    = 16 // pointer to the bound tunnel
+	pppOffPeer      = 24
+	pppSockStructSz = 32
+)
+
+// sock (the tunnel's underlying UDP socket) layout; bh_lock_sock locks
+// offset 0, which is what faults when the tunnel sock pointer is null.
+const (
+	sockOffLock   = 0
+	sockOffState  = 8
+	sockOffTxErrs = 16
+	sockStructSz  = 32
+)
+
+var (
+	// The list walk compiles to a single load instruction executing once
+	// per node (head and next dereferences share it), as in real machine
+	// code — which is what makes instruction-only scheduling hints (SKI)
+	// fire on many irrelevant targets.
+	insL2tpGetDeref   = trace.DefIns("l2tp_tunnel_get:rcu_dereference_list")
+	insL2tpGetLoadID  = trace.DefIns("l2tp_tunnel_get:load_tunnel_id")
+	insL2tpGetRefInc  = trace.DefIns("l2tp_tunnel_get:refcount_inc")
+	insL2tpListLock   = trace.DefIns("l2tp_tunnel_register:spin_lock_list")
+	insL2tpListUnlock = trace.DefIns("l2tp_tunnel_register:spin_unlock_list")
+	insL2tpRegSetID   = trace.DefIns("l2tp_tunnel_register:store_tunnel_id")
+	insL2tpRegSetNext = trace.DefIns("l2tp_tunnel_register:set_list_next")
+	insL2tpRegPublish = trace.DefIns("l2tp_tunnel_register:list_add_rcu")
+	insL2tpRegFlags   = trace.DefIns("l2tp_tunnel_register:init_flags")
+	insL2tpRegDebug   = trace.DefIns("l2tp_tunnel_register:init_debug")
+	insL2tpRegSock    = trace.DefIns("l2tp_tunnel_register:store_tunnel_sock")
+	insPppConnTunnel  = trace.DefIns("pppol2tp_connect:store_sk_tunnel")
+	insPppConnState   = trace.DefIns("pppol2tp_connect:store_state")
+	insPppSendTunnel  = trace.DefIns("pppol2tp_sendmsg:load_sk_tunnel")
+	insXmitLoadSock   = trace.DefIns("l2tp_xmit_core:load_tunnel_sock")
+	insXmitLockSock   = trace.DefIns("l2tp_xmit_core:bh_lock_sock")
+	insXmitUnlockSock = trace.DefIns("l2tp_xmit_core:bh_unlock_sock")
+	insXmitSockState  = trace.DefIns("l2tp_xmit_core:load_sock_state")
+)
+
+// bootTunnels is the number of tunnels pre-registered at boot. Lookups of a
+// fresh tunnel id must walk past all of them, so the list-walk instructions
+// execute against many targets per call.
+const bootTunnels = 6
+
+func (k *Kernel) bootL2TP() {
+	k.G.L2tpTunnelList = k.staticAlloc(8)
+	k.G.L2tpListLock = k.staticAlloc(8)
+	head := uint64(0)
+	for i := 0; i < bootTunnels; i++ {
+		sk := k.bootAlloc(sockStructSz)
+		tun := k.bootAlloc(tunnelStructSz)
+		k.put(tun+tunOffID, uint64(100+i))
+		k.put(tun+tunOffSock, sk)
+		k.put(tun+tunOffNext, head)
+		k.put(tun+tunOffRefcnt, 1)
+		head = tun
+	}
+	k.put(k.G.L2tpTunnelList, head)
+}
+
+// l2tpTunnelGet walks the RCU tunnel list looking for tunnelID, taking a
+// reference when found. All list pointer traffic is properly annotated
+// (rcu_dereference), so finding this bug requires PMC analysis rather than
+// a race detector — the point of the paper's Case 2.
+func (k *Kernel) l2tpTunnelGet(t *vm.Thread, tunnelID uint64) uint64 {
+	t.RCUReadLock()
+	cur := t.LoadMarked(insL2tpGetDeref, k.G.L2tpTunnelList, 8)
+	for cur != 0 {
+		id := t.Load(insL2tpGetLoadID, cur+tunOffID, 8)
+		if id == tunnelID {
+			ref := t.LoadMarked(insL2tpGetRefInc, cur+tunOffRefcnt, 8)
+			t.StoreMarked(insL2tpGetRefInc, cur+tunOffRefcnt, 8, ref+1)
+			t.RCUReadUnlock()
+			return cur
+		}
+		cur = t.LoadMarked(insL2tpGetDeref, cur+tunOffNext, 8)
+	}
+	t.RCUReadUnlock()
+	return 0
+}
+
+// l2tpTunnelRegister creates and publishes a tunnel. In 5.12-rc3 the tunnel
+// is added to the RCU list *before* its sock field is initialized (issue
+// #12); the pre-regression 5.3.10 code initializes sock first.
+func (k *Kernel) l2tpTunnelRegister(t *vm.Thread, tunnelID, sk uint64) uint64 {
+	tun := k.Kzalloc(t, tunnelStructSz)
+	if tun == 0 {
+		return 0
+	}
+	t.Store(insL2tpRegSetID, tun+tunOffID, 8, tunnelID)
+
+	if k.is5_3() {
+		// Fixed ordering: fully initialize before publishing.
+		t.Store(insL2tpRegSock, tun+tunOffSock, 8, sk)
+	}
+
+	t.Lock(insL2tpListLock, k.G.L2tpListLock)
+	head := t.LoadMarked(insL2tpRegSetNext, k.G.L2tpTunnelList, 8)
+	t.StoreMarked(insL2tpRegSetNext, tun+tunOffNext, 8, head)
+	t.StoreMarked(insL2tpRegPublish, k.G.L2tpTunnelList, 8, tun) // ➊ tunnel becomes reachable
+	t.Unlock(insL2tpListUnlock, k.G.L2tpListLock)
+
+	// Post-publication setup work widens the vulnerability window.
+	t.Store(insL2tpRegFlags, tun+tunOffFlags, 8, 0x3)
+	t.Store(insL2tpRegDebug, tun+tunOffDebug, 8, 0)
+
+	if k.is5_12() {
+		// Issue #12: sock is initialized only now, after the tunnel is
+		// visible to concurrent lookups.
+		t.Store(insL2tpRegSock, tun+tunOffSock, 8, sk) // ➋
+	}
+	return tun
+}
+
+// PppoL2tpConnect implements connect() on a PX_PROTO_OL2TP socket: look up
+// the tunnel for tunnelID (creating and registering it on first use, backed
+// by the UDP socket sk) and bind it into the PPP session.
+func (k *Kernel) PppoL2tpConnect(t *vm.Thread, pppSock, sk, tunnelID uint64) int64 {
+	tun := k.l2tpTunnelGet(t, tunnelID)
+	if tun == 0 {
+		tun = k.l2tpTunnelRegister(t, tunnelID, sk)
+		if tun == 0 {
+			return errRet(ENOMEM)
+		}
+	}
+	t.Store(insPppConnTunnel, pppSock+pppOffTunnel, 8, tun)
+	t.Store(insPppConnState, pppSock+pppOffState, 8, 1 /* PPPOX_CONNECTED */)
+	return 0
+}
+
+// PppoL2tpSendmsg transmits size bytes through the session's tunnel. The
+// l2tp_xmit_core half dereferences tunnel->sock; if the tunnel was obtained
+// half-initialized, sock is null and bh_lock_sock faults (kernel panic).
+func (k *Kernel) PppoL2tpSendmsg(t *vm.Thread, pppSock, size uint64) int64 {
+	tun := t.Load(insPppSendTunnel, pppSock+pppOffTunnel, 8)
+	if tun == 0 {
+		return errRet(ENOTCONN)
+	}
+	// l2tp_xmit_core:
+	sk := t.Load(insXmitLoadSock, tun+tunOffSock, 8) // ➍ may observe 0
+	t.Lock(insXmitLockSock, sk+sockOffLock)          // faults on null sk
+	st := t.Load(insXmitSockState, sk+sockOffState, 8)
+	_ = st
+	k.DevQueueXmit(t, k.G.Eth0, size)
+	t.Unlock(insXmitUnlockSock, sk+sockOffLock)
+	return int64(size)
+}

@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// Slab allocator. Allocation metadata (bump pointer, freelist heads, object
+// counters) lives in guest memory so that it is captured by snapshots and
+// so that allocator traffic appears in memory traces — which is what makes
+// the slab-counter data race (issue #13, cache_alloc_refill()/free_block())
+// reachable from *every* test that allocates memory, matching the paper's
+// observation that it is found by all strategies including the baselines.
+
+var sizeClasses = []int{16, 32, 64, 128, 256, 512, 1024}
+
+var (
+	insKmallocLoadHead   = trace.DefIns("kmalloc:load_freelist_head")
+	insKmallocLoadNext   = trace.DefIns("kmalloc:load_free_next")
+	insKmallocStoreHead  = trace.DefIns("kmalloc:store_freelist_head")
+	insKmallocLoadBump   = trace.DefIns("kmalloc:load_heap_next")
+	insKmallocStoreBump  = trace.DefIns("kmalloc:store_heap_next")
+	insRefillLoadFree    = trace.DefIns("cache_alloc_refill:load_free_objects")
+	insRefillStoreFree   = trace.DefIns("cache_alloc_refill:store_free_objects")
+	insFreeBlockLoadFree = trace.DefIns("free_block:load_free_objects")
+	insFreeBlockStore    = trace.DefIns("free_block:store_free_objects")
+	insKfreeStoreNext    = trace.DefIns("kfree:store_free_next")
+	insKfreeLoadHead     = trace.DefIns("kfree:load_freelist_head")
+	insKfreeStoreHead    = trace.DefIns("kfree:store_freelist_head")
+	insKzallocZero       = trace.DefIns("kzalloc:memset")
+	insAllocsInc         = trace.DefIns("kmalloc:count_allocs")
+	insSlabLock          = trace.DefIns("kmalloc:slab_lock")
+	insSlabUnlock        = trace.DefIns("kmalloc:slab_unlock")
+)
+
+func (k *Kernel) bootMM() {
+	k.G.SlabFreeObjects = k.staticAlloc(8)
+	k.G.SlabNumAllocs = k.staticAlloc(8)
+	k.G.HeapNext = k.staticAlloc(8)
+	k.G.Freelists = k.staticAlloc(8 * len(sizeClasses))
+	k.G.SlabLock = k.staticAlloc(8)
+	k.put(k.G.HeapNext, HeapBase)
+	k.put(k.G.SlabFreeObjects, 4096) // pretend a mostly-full cache
+}
+
+func sizeClass(size int) (idx, csize int) {
+	for i, c := range sizeClasses {
+		if size <= c {
+			return i, c
+		}
+	}
+	panic("kernel: kmalloc size too large")
+}
+
+// Kmalloc allocates size bytes of kernel heap memory and returns its guest
+// address. The freelist manipulation is lock-protected; the statistics
+// counter update is intentionally plain and unsynchronized (issue #13).
+func (k *Kernel) Kmalloc(t *vm.Thread, size int) uint64 {
+	idx, csize := sizeClass(size)
+	head := k.G.Freelists + uint64(idx)*8
+
+	t.Lock(insSlabLock, k.G.SlabLock)
+	obj := t.Load(insKmallocLoadHead, head, 8)
+	if obj != 0 {
+		next := t.Load(insKmallocLoadNext, obj, 8)
+		t.Store(insKmallocStoreHead, head, 8, next)
+	} else {
+		obj = t.Load(insKmallocLoadBump, k.G.HeapNext, 8)
+		if obj+uint64(csize) > HeapBase+HeapSize {
+			t.Unlock(insSlabUnlock, k.G.SlabLock)
+			return 0 // -ENOMEM at the caller
+		}
+		t.Store(insKmallocStoreBump, k.G.HeapNext, 8, obj+uint64(csize))
+	}
+	t.Unlock(insSlabUnlock, k.G.SlabLock)
+
+	// Issue #13: the free-object statistic is updated outside any lock on
+	// both the allocation (cache_alloc_refill) and free (free_block) paths.
+	free := t.Load(insRefillLoadFree, k.G.SlabFreeObjects, 8)
+	t.Store(insRefillStoreFree, k.G.SlabFreeObjects, 8, free-1)
+	n := t.LoadMarked(insAllocsInc, k.G.SlabNumAllocs, 8)
+	t.StoreMarked(insAllocsInc, k.G.SlabNumAllocs, 8, n+1)
+	return obj
+}
+
+// Kzalloc is Kmalloc followed by zeroing of the requested bytes in 8-byte
+// stores (all traced, like a real memset'd allocation).
+func (k *Kernel) Kzalloc(t *vm.Thread, size int) uint64 {
+	obj := k.Kmalloc(t, size)
+	if obj == 0 {
+		return 0
+	}
+	for off := 0; off < size; off += 8 {
+		t.Store(insKzallocZero, obj+uint64(off), 8, 0)
+	}
+	return obj
+}
+
+// Kfree returns an object of the given size to its freelist. The statistics
+// update is again unsynchronized (the free_block side of issue #13).
+func (k *Kernel) Kfree(t *vm.Thread, obj uint64, size int) {
+	idx, _ := sizeClass(size)
+	head := k.G.Freelists + uint64(idx)*8
+
+	t.Lock(insSlabLock, k.G.SlabLock)
+	old := t.Load(insKfreeLoadHead, head, 8)
+	t.Store(insKfreeStoreNext, obj, 8, old)
+	t.Store(insKfreeStoreHead, head, 8, obj)
+	t.Unlock(insSlabUnlock, k.G.SlabLock)
+
+	free := t.Load(insFreeBlockLoadFree, k.G.SlabFreeObjects, 8)
+	t.Store(insFreeBlockStore, k.G.SlabFreeObjects, 8, free+1)
+}
+
+// --- generic_fadvise (issue #5 reader side) ---
+
+var insFadviseLoadBS = trace.DefIns("generic_fadvise:load_bd_block_size")
+
+// GenericFadvise models mm/fadvise.c: it reads the block device's block
+// size without holding bd_mutex to align the advised range. The unlocked
+// read races with blkdev_ioctl(BLKBSZSET) (issue #5).
+func (k *Kernel) GenericFadvise(t *vm.Thread, offset, length uint64) int64 {
+	bs := t.Load(insFadviseLoadBS, k.G.Bdev+bdevOffBlockSize, 8)
+	if bs == 0 {
+		return errRet(EINVAL)
+	}
+	endbyte := (offset + length) &^ (bs - 1)
+	_ = endbyte
+	return 0
+}

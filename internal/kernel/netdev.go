@@ -1,0 +1,118 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// struct net_device layout (offsets in bytes from the device base).
+const (
+	devOffMtu      = 0  // u64 MTU (issue #7 reader/writer target)
+	devOffAddr     = 8  // 6-byte hardware MAC address (issues #8, #9)
+	devOffAddrLen  = 16 // u64
+	devOffFlags    = 24 // u64
+	devOffTxPkts   = 32 // u64 per-device tx packet count (marked accesses)
+	devOffTxBytes  = 40 // u64
+	devOffLock     = 48 // device-private spinlock (netif_addr_lock)
+	devOffIfindex  = 56
+	netdevStructSz = 64
+)
+
+// EthAlen is the Ethernet hardware address length.
+const EthAlen = 6
+
+var (
+	insRtnlLock   = trace.DefIns("rtnl_lock:acquire")
+	insRtnlUnlock = trace.DefIns("rtnl_unlock:release")
+
+	insEthCommitMemcpy  = trace.DefIns("eth_commit_mac_addr_change:memcpy_dev_addr")
+	insDevIfsiocMemcpy  = trace.DefIns("dev_ifsioc_locked:memcpy_ifr_hwaddr")
+	insE1000SetMac      = trace.DefIns("e1000_set_mac:memcpy_node_addr")
+	insDevSetMtu        = trace.DefIns("__dev_set_mtu:store_mtu")
+	insDevLoadMtuIoctl  = trace.DefIns("dev_ifsioc:load_mtu")
+	insDevLoadAddrLen   = trace.DefIns("dev_ifsioc_locked:load_addr_len")
+	insDevTxPktsRMW     = trace.DefIns("dev_queue_xmit:this_cpu_add_tx_packets")
+	insDevTxBytesRMW    = trace.DefIns("dev_queue_xmit:this_cpu_add_tx_bytes")
+	insCopyHwaddrToUser = trace.DefIns("copy_to_user:ifr_hwaddr")
+)
+
+func (k *Kernel) bootNetdev() {
+	k.G.RtnlLock = k.staticAlloc(8)
+	k.G.Eth0 = k.staticAlloc(netdevStructSz)
+	k.put(k.G.Eth0+devOffMtu, 1500)
+	// Factory MAC aa:bb:cc:dd:ee:01.
+	mac := [EthAlen]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0x01}
+	k.M.Mem.WriteBytes(k.G.Eth0+devOffAddr, mac[:])
+	k.put(k.G.Eth0+devOffAddrLen, EthAlen)
+	k.put(k.G.Eth0+devOffIfindex, 2)
+}
+
+// RtnlLock acquires the global RTNL mutex.
+func (k *Kernel) RtnlLock(t *vm.Thread) { t.Lock(insRtnlLock, k.G.RtnlLock) }
+
+// RtnlUnlock releases the global RTNL mutex.
+func (k *Kernel) RtnlUnlock(t *vm.Thread) { t.Unlock(insRtnlUnlock, k.G.RtnlLock) }
+
+// EthCommitMacAddrChange installs a new MAC address on the device with a
+// byte-wise memcpy. The caller holds RTNL. Issue #9 (Figure 3): the reader
+// dev_ifsioc_locked runs under rcu_read_lock only — a *different* lock — so
+// the two memcpys interleave and the reader can observe a torn address.
+func (k *Kernel) EthCommitMacAddrChange(t *vm.Thread, dev uint64, mac [EthAlen]byte) {
+	for i := 0; i < EthAlen; i++ {
+		t.Store(insEthCommitMemcpy, dev+devOffAddr+uint64(i), 1, uint64(mac[i]))
+	}
+}
+
+// DevIfsiocLocked services SIOCGIFHWADDR: it copies the hardware address
+// out under rcu_read_lock (the reader side of issue #9) and returns the
+// bytes it observed, which are also copied to the user buffer.
+func (k *Kernel) DevIfsiocLocked(t *vm.Thread, dev uint64, userBuf uint64) [EthAlen]byte {
+	var got [EthAlen]byte
+	t.RCUReadLock()
+	n := t.Load(insDevLoadAddrLen, dev+devOffAddrLen, 8)
+	if n > EthAlen {
+		n = EthAlen
+	}
+	for i := uint64(0); i < n; i++ {
+		got[i] = byte(t.Load(insDevIfsiocMemcpy, dev+devOffAddr+i, 1))
+	}
+	t.RCUReadUnlock()
+	for i := uint64(0); i < n; i++ {
+		t.Store(insCopyHwaddrToUser, userBuf+i, 1, uint64(got[i]))
+	}
+	return got
+}
+
+// E1000SetMac is the driver-level MAC programming path reached through
+// SIOCETHTOOL. It also rewrites dev_addr byte-wise under RTNL; the
+// packet_getname reader (issue #8) holds no common lock.
+func (k *Kernel) E1000SetMac(t *vm.Thread, dev uint64, mac [EthAlen]byte) {
+	for i := 0; i < EthAlen; i++ {
+		t.Store(insE1000SetMac, dev+devOffAddr+uint64(i), 1, uint64(mac[i]))
+	}
+}
+
+// DevSetMtu changes the device MTU under RTNL with a plain store; the raw
+// IPv6 transmit path reads it with a plain load under RCU only (issue #7).
+func (k *Kernel) DevSetMtu(t *vm.Thread, dev uint64, mtu uint64) int64 {
+	if mtu < 68 || mtu > 65535 {
+		return errRet(EINVAL)
+	}
+	t.Store(insDevSetMtu, dev+devOffMtu, 8, mtu)
+	return 0
+}
+
+// DevQueueXmit accounts one transmitted packet. The statistics use marked
+// (this_cpu_add-style) accesses, which are intentionally concurrent and
+// therefore not data races.
+func (k *Kernel) DevQueueXmit(t *vm.Thread, dev uint64, size uint64) {
+	p := t.LoadMarked(insDevTxPktsRMW, dev+devOffTxPkts, 8)
+	t.StoreMarked(insDevTxPktsRMW, dev+devOffTxPkts, 8, p+1)
+	b := t.LoadMarked(insDevTxBytesRMW, dev+devOffTxBytes, 8)
+	t.StoreMarked(insDevTxBytesRMW, dev+devOffTxBytes, 8, b+size)
+}
+
+// DevLoadMtu reads the MTU for an ioctl reply (under RTNL; not a race).
+func (k *Kernel) DevLoadMtu(t *vm.Thread, dev uint64) uint64 {
+	return t.Load(insDevLoadMtuIoctl, dev+devOffMtu, 8)
+}

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// AF_PACKET sockets with fanout groups, carrying issue #17
+// (fanout_demux_rollover() reads f->num_members under RCU only while
+// __fanout_unlink() updates it under the fanout mutex) and the reader side
+// of issue #8 (packet_getname() copies dev->dev_addr with no common lock
+// against the driver's MAC rewrite).
+
+// struct packet_sock private layout.
+const (
+	poOffLock      = 0
+	poOffFanout    = 8 // pointer to the joined fanout group
+	poOffIfindex   = 16
+	poOffRxCount   = 24
+	poSockStructSz = 32
+)
+
+// struct packet_fanout layout.
+const (
+	fanOffID         = 0
+	fanOffNumMembers = 8  // issue #17 target
+	fanOffNext       = 16 // global fanout list linkage
+	fanOffRRCur      = 24
+	fanOffArr        = 32 // member slots, fanoutMaxMembers pointers
+	fanoutMaxMembers = 4
+	fanoutStructSz   = 32 + 8*fanoutMaxMembers
+)
+
+var (
+	insFanMutexLock   = trace.DefIns("fanout_add:mutex_lock")
+	insFanMutexUnlock = trace.DefIns("fanout_add:mutex_unlock")
+	insFanListLoad    = trace.DefIns("fanout_add:load_fanout_list")
+	insFanListStore   = trace.DefIns("fanout_add:store_fanout_list")
+	insFanLoadID      = trace.DefIns("fanout_add:load_fanout_id")
+	insFanLoadNext    = trace.DefIns("fanout_add:load_fanout_next")
+	insFanSetID       = trace.DefIns("fanout_add:store_fanout_id")
+	insFanLinkSlot    = trace.DefIns("__fanout_link:store_member_slot")
+	insFanLinkLoadN   = trace.DefIns("__fanout_link:load_num_members")
+	insFanLinkStoreN  = trace.DefIns("__fanout_link:store_num_members")
+	insFanUnlinkLoadN = trace.DefIns("__fanout_unlink:load_num_members")
+	insFanUnlinkStore = trace.DefIns("__fanout_unlink:store_num_members")
+	insFanUnlinkSlot  = trace.DefIns("__fanout_unlink:clear_member_slot")
+	insFanSetPo       = trace.DefIns("fanout_add:store_po_fanout")
+	insFanClearPo     = trace.DefIns("fanout_release:clear_po_fanout")
+	insDemuxLoadN     = trace.DefIns("fanout_demux_rollover:load_num_members")
+	insDemuxLoadSlot  = trace.DefIns("fanout_demux_rollover:load_member_slot")
+	insDemuxRxCount   = trace.DefIns("fanout_demux_rollover:inc_rx_count")
+	insPktGetnameMAC  = trace.DefIns("packet_getname:memcpy_sll_addr")
+	insPktGetnameIdx  = trace.DefIns("packet_getname:load_ifindex")
+	insPktGetnameUser = trace.DefIns("copy_to_user:sockaddr_ll")
+	insPktLoadFanout  = trace.DefIns("packet_sendmsg:rcu_dereference_fanout")
+)
+
+func (k *Kernel) bootPacket() {
+	k.G.FanoutMutex = k.staticAlloc(8)
+	k.G.FanoutList = k.staticAlloc(8)
+}
+
+// FanoutAdd joins the packet socket to fanout group id, creating the group
+// on first use. All bookkeeping is mutex-protected; the demux reader is not.
+func (k *Kernel) FanoutAdd(t *vm.Thread, po, id uint64) int64 {
+	t.Lock(insFanMutexLock, k.G.FanoutMutex)
+	f := t.Load(insFanListLoad, k.G.FanoutList, 8)
+	for f != 0 {
+		fid := t.Load(insFanLoadID, f+fanOffID, 8)
+		if fid == id {
+			break
+		}
+		f = t.Load(insFanLoadNext, f+fanOffNext, 8)
+	}
+	if f == 0 {
+		f = k.Kzalloc(t, fanoutStructSz)
+		if f == 0 {
+			t.Unlock(insFanMutexUnlock, k.G.FanoutMutex)
+			return errRet(ENOMEM)
+		}
+		t.Store(insFanSetID, f+fanOffID, 8, id)
+		head := t.Load(insFanListLoad, k.G.FanoutList, 8)
+		t.Store(insFanListStore, f+fanOffNext, 8, head)
+		t.Store(insFanListStore, k.G.FanoutList, 8, f)
+	}
+	n := t.Load(insFanLinkLoadN, f+fanOffNumMembers, 8)
+	if n >= fanoutMaxMembers {
+		t.Unlock(insFanMutexUnlock, k.G.FanoutMutex)
+		return errRet(ENOSPC)
+	}
+	t.Store(insFanLinkSlot, f+fanOffArr+8*n, 8, po)
+	t.Store(insFanLinkStoreN, f+fanOffNumMembers, 8, n+1) // __fanout_link
+	t.Store(insFanSetPo, po+poOffFanout, 8, f)
+	t.Unlock(insFanMutexUnlock, k.G.FanoutMutex)
+	return 0
+}
+
+// FanoutRelease detaches the socket from its fanout group (__fanout_unlink).
+// The num_members store is mutex-protected but the rollover reader holds
+// only RCU (issue #17).
+func (k *Kernel) FanoutRelease(t *vm.Thread, po uint64) int64 {
+	f := t.Load(insPktLoadFanout, po+poOffFanout, 8)
+	if f == 0 {
+		return 0
+	}
+	t.Lock(insFanMutexLock, k.G.FanoutMutex)
+	n := t.Load(insFanUnlinkLoadN, f+fanOffNumMembers, 8)
+	// Compact the member array: find po's slot and shift the tail down.
+	for i := uint64(0); i < n; i++ {
+		slot := t.Load(insDemuxLoadSlot, f+fanOffArr+8*i, 8)
+		if slot == po {
+			for j := i; j+1 < n; j++ {
+				next := t.Load(insDemuxLoadSlot, f+fanOffArr+8*(j+1), 8)
+				t.Store(insFanUnlinkSlot, f+fanOffArr+8*j, 8, next)
+			}
+			t.Store(insFanUnlinkSlot, f+fanOffArr+8*(n-1), 8, 0)
+			break
+		}
+	}
+	if n > 0 {
+		t.Store(insFanUnlinkStore, f+fanOffNumMembers, 8, n-1)
+	}
+	t.Store(insFanClearPo, po+poOffFanout, 8, 0)
+	t.Unlock(insFanMutexUnlock, k.G.FanoutMutex)
+	return 0
+}
+
+// FanoutDemuxRollover is the receive-path load balancer, reached here via
+// the loopback of packet_sendmsg. It reads num_members with a plain load
+// under rcu_read_lock only (issue #17); a concurrent unlink can shrink the
+// group under it.
+func (k *Kernel) FanoutDemuxRollover(t *vm.Thread, f, hash uint64) uint64 {
+	n := t.Load(insDemuxLoadN, f+fanOffNumMembers, 8)
+	if n == 0 {
+		return 0
+	}
+	idx := hash % n
+	member := t.Load(insDemuxLoadSlot, f+fanOffArr+8*idx, 8)
+	if member != 0 {
+		c := t.LoadMarked(insDemuxRxCount, member+poOffRxCount, 8)
+		t.StoreMarked(insDemuxRxCount, member+poOffRxCount, 8, c+1)
+	}
+	return member
+}
+
+// PacketSendmsg transmits size bytes and demultiplexes the looped-back
+// frame across the socket's fanout group, if any.
+func (k *Kernel) PacketSendmsg(t *vm.Thread, po, size uint64) int64 {
+	k.DevQueueXmit(t, k.G.Eth0, size)
+	t.RCUReadLock()
+	f := t.Load(insPktLoadFanout, po+poOffFanout, 8)
+	if f != 0 {
+		k.FanoutDemuxRollover(t, f, size)
+	}
+	t.RCUReadUnlock()
+	return int64(size)
+}
+
+// PacketGetname services getsockname(2) on a packet socket: it copies the
+// bound device's hardware address into the user's sockaddr_ll with plain
+// byte loads and no lock shared with the MAC writers (issue #8).
+func (k *Kernel) PacketGetname(t *vm.Thread, po, userBuf uint64) [EthAlen]byte {
+	var got [EthAlen]byte
+	idx := t.Load(insPktGetnameIdx, po+poOffIfindex, 8)
+	_ = idx
+	for i := 0; i < EthAlen; i++ {
+		got[i] = byte(t.Load(insPktGetnameMAC, k.G.Eth0+devOffAddr+uint64(i), 1))
+	}
+	for i := 0; i < EthAlen; i++ {
+		t.Store(insPktGetnameUser, userBuf+uint64(i), 1, uint64(got[i]))
+	}
+	return got
+}

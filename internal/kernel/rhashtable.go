@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// A miniature rhashtable (lib/rhashtable.c), carrying issue #1 — the
+// paper's Figure 4 bug. rht_ptr() is written in the source as the GCC
+// conditional with omitted operand, "*bkt & ~BIT(0) ?: bkt"; under -O1 the
+// compiler emits *two* loads of the bucket word. In the 5.3.10 build we
+// model the two-load compilation; a concurrent writer that zeroes the
+// bucket between the loads makes the reader dereference null — a kernel
+// page-fault panic with a one-instruction vulnerability window.
+
+// struct rhashtable layout: nbuckets, then the bucket array.
+const (
+	rhtOffNBuckets = 0
+	rhtOffBuckets  = 8
+	rhtNBuckets    = 8
+	rhtStructSz    = 8 + 8*rhtNBuckets
+)
+
+var (
+	insRhtHashLoadN   = trace.DefIns("rht_key_hashfn:load_nbuckets")
+	insRhtPtrTest     = trace.DefIns("rht_ptr:load_bkt_test")
+	insRhtPtrUse      = trace.DefIns("rht_ptr:load_bkt_use")
+	insRhtObjNext     = trace.DefIns("rhashtable_lookup:load_obj_next")
+	insRhtAssign      = trace.DefIns("rht_assign_unlock:store_bkt")
+	insRhtInsertLoad  = trace.DefIns("rhashtable_insert:load_bkt")
+	insRhtInsertChain = trace.DefIns("rhashtable_insert:store_obj_next")
+	insRhtLock        = trace.DefIns("rht_lock:acquire")
+	insRhtUnlock      = trace.DefIns("rht_unlock:release")
+)
+
+// rhtBucket returns the address of the bucket word for hash h.
+func rhtBucket(ht uint64, h uint64) uint64 {
+	return ht + rhtOffBuckets + (h%rhtNBuckets)*8
+}
+
+// rhtHash folds a key onto a bucket index using the table's bucket count
+// (a traced load, as the real code reads tbl->size).
+func (k *Kernel) rhtHash(t *vm.Thread, ht, key uint64) uint64 {
+	n := t.Load(insRhtHashLoadN, ht+rhtOffNBuckets, 8)
+	if n == 0 {
+		n = rhtNBuckets
+	}
+	return (key * 0x61C88647) % n
+}
+
+// RhtPtr dereferences a bucket head, returning the chain head pointer and
+// whether the emptiness test passed. In the 5.3.10 build this is the
+// double-fetch compilation of "*bkt & ~BIT(0) ?: bkt" (issue #1): the value
+// *used* is re-loaded after the test, so a concurrent zeroing of the bucket
+// makes RhtPtr report ok==true with ptr==0 — and the caller's key compare
+// then dereferences null, exactly Figure 4's page fault. 5.12-rc3 models
+// the fixed __rht_ptr with a single load.
+func (k *Kernel) RhtPtr(t *vm.Thread, bkt uint64) (ptr uint64, ok bool) {
+	if k.is5_3() {
+		v1 := t.Load(insRhtPtrTest, bkt, 8) // testl $0xfffffffe,(%eax)
+		if v1&^uint64(1) == 0 {
+			return 0, false
+		}
+		v2 := t.Load(insRhtPtrUse, bkt, 8) // mov (%eax),%eax — the second fetch
+		return v2 &^ uint64(1), true
+	}
+	// The fixed __rht_ptr (1748f6a2cbc4) reads the bucket once with proper
+	// RCU-dereference semantics.
+	v := t.LoadMarked(insRhtPtrTest, bkt, 8)
+	if v&^uint64(1) == 0 {
+		return 0, false
+	}
+	return v &^ uint64(1), true
+}
+
+// RhashtableLookup walks the bucket chain for key, under RCU. The chain
+// object layout is caller-defined; next pointers live at objOffNext and the
+// key at objOffKey. Returns the matching object or 0. The first key load
+// mirrors the compiled memcmp: it dereferences the RhtPtr result
+// unconditionally once the emptiness test has passed, so a torn double
+// fetch crashes the kernel here.
+func (k *Kernel) RhashtableLookup(t *vm.Thread, ht, key uint64, objOffKey, objOffNext uint64, loadKey trace.Ins) uint64 {
+	t.RCUReadLock()
+	defer t.RCUReadUnlock()
+	bkt := rhtBucket(ht, k.rhtHash(t, ht, key))
+	obj, ok := k.RhtPtr(t, bkt)
+	if !ok {
+		return 0
+	}
+	for {
+		got := t.Load(loadKey, obj+objOffKey, 8) // memcmp(ptr + key_offset, ...): null deref if obj == 0
+		if got == key {
+			return obj
+		}
+		obj = t.LoadMarked(insRhtObjNext, obj+objOffNext, 8)
+		if obj == 0 {
+			return 0
+		}
+	}
+}
+
+// RhashtableInsert links obj at the head of key's bucket chain under the
+// table lock, finishing with rht_assign_unlock's store of the bucket word.
+func (k *Kernel) RhashtableInsert(t *vm.Thread, ht, key, obj uint64, objOffNext uint64) {
+	bkt := rhtBucket(ht, k.rhtHash(t, ht, key))
+	t.Lock(insRhtLock, k.G.MsgHTLock)
+	head := t.Load(insRhtInsertLoad, bkt, 8) &^ uint64(1)
+	t.StoreMarked(insRhtInsertChain, obj+objOffNext, 8, head)
+	t.StoreMarked(insRhtAssign, bkt, 8, obj)
+	t.Unlock(insRhtUnlock, k.G.MsgHTLock)
+}
+
+// RhashtableRemove unlinks the object with the given key under the table
+// lock. Unlinking the chain head ends in rht_assign_unlock storing the new
+// head — zero for a singleton chain, which is the write half of issue #1.
+func (k *Kernel) RhashtableRemove(t *vm.Thread, ht, key uint64, objOffKey, objOffNext uint64, loadKey trace.Ins) uint64 {
+	bkt := rhtBucket(ht, k.rhtHash(t, ht, key))
+	t.Lock(insRhtLock, k.G.MsgHTLock)
+	prev := uint64(0)
+	obj := t.Load(insRhtInsertLoad, bkt, 8) &^ uint64(1)
+	for obj != 0 {
+		got := t.Load(loadKey, obj+objOffKey, 8)
+		if got == key {
+			next := t.Load(insRhtObjNext, obj+objOffNext, 8)
+			if prev == 0 {
+				t.StoreMarked(insRhtAssign, bkt, 8, next) // zeroes the bucket for singletons
+			} else {
+				t.StoreMarked(insRhtInsertChain, prev+objOffNext, 8, next)
+			}
+			t.Unlock(insRhtUnlock, k.G.MsgHTLock)
+			return obj
+		}
+		prev = obj
+		obj = t.Load(insRhtObjNext, obj+objOffNext, 8)
+	}
+	t.Unlock(insRhtUnlock, k.G.MsgHTLock)
+	return 0
+}

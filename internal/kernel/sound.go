@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// ALSA control core, carrying issue #15: snd_ctl_elem_add() accounts the
+// per-card user-control memory with a plain read-modify-write while holding
+// only the read side of controls_rwsem, so two concurrent adds race on
+// user_ctl_alloc_size (fixed upstream by moving the accounting under the
+// write lock).
+
+// struct snd_card layout (static).
+const (
+	cardOffRwsem        = 0
+	cardOffUserAllocSz  = 8 // issue #15 target
+	cardOffControlCount = 16
+	cardOffMaxUserSz    = 24
+	cardStructSz        = 32
+)
+
+var (
+	insSndRwsemLock   = trace.DefIns("snd_card:down_write_rwsem")
+	insSndRwsemUnlock = trace.DefIns("snd_card:up_write_rwsem")
+	insSndAddLoadSz   = trace.DefIns("snd_ctl_elem_add:load_user_ctl_alloc_size")
+	insSndAddStoreSz  = trace.DefIns("snd_ctl_elem_add:store_user_ctl_alloc_size")
+	insSndAddMax      = trace.DefIns("snd_ctl_elem_add:load_max_user_ctl")
+	insSndAddCount    = trace.DefIns("snd_ctl_elem_add:inc_controls_count")
+	insSndDelLoadSz   = trace.DefIns("snd_ctl_elem_remove:load_user_ctl_alloc_size")
+	insSndDelStoreSz  = trace.DefIns("snd_ctl_elem_remove:store_user_ctl_alloc_size")
+)
+
+func (k *Kernel) bootSound() {
+	k.G.SndCard = k.staticAlloc(cardStructSz)
+	k.put(k.G.SndCard+cardOffMaxUserSz, 8192)
+}
+
+// SndCtlElemAdd adds a user control of the given byte size. The allocation
+// accounting RMW is unlocked (issue #15); only the control list itself is
+// protected by the rwsem.
+func (k *Kernel) SndCtlElemAdd(t *vm.Thread, size uint64) int64 {
+	if size == 0 || size > 1024 {
+		return errRet(EINVAL)
+	}
+	max := t.Load(insSndAddMax, k.G.SndCard+cardOffMaxUserSz, 8)
+	cur := t.Load(insSndAddLoadSz, k.G.SndCard+cardOffUserAllocSz, 8)
+	if cur+size > max {
+		return errRet(ENOMEM)
+	}
+	t.Store(insSndAddStoreSz, k.G.SndCard+cardOffUserAllocSz, 8, cur+size)
+
+	t.Lock(insSndRwsemLock, k.G.SndCard+cardOffRwsem)
+	n := t.Load(insSndAddCount, k.G.SndCard+cardOffControlCount, 8)
+	t.Store(insSndAddCount, k.G.SndCard+cardOffControlCount, 8, n+1)
+	t.Unlock(insSndRwsemUnlock, k.G.SndCard+cardOffRwsem)
+	return 0
+}
+
+// SndCtlElemRemove releases size bytes of user-control accounting, with the
+// same unlocked RMW pattern.
+func (k *Kernel) SndCtlElemRemove(t *vm.Thread, size uint64) int64 {
+	cur := t.Load(insSndDelLoadSz, k.G.SndCard+cardOffUserAllocSz, 8)
+	if cur < size {
+		size = cur
+	}
+	t.Store(insSndDelStoreSz, k.G.SndCard+cardOffUserAllocSz, 8, cur-size)
+
+	t.Lock(insSndRwsemLock, k.G.SndCard+cardOffRwsem)
+	n := t.Load(insSndAddCount, k.G.SndCard+cardOffControlCount, 8)
+	if n > 0 {
+		t.Store(insSndAddCount, k.G.SndCard+cardOffControlCount, 8, n-1)
+	}
+	t.Unlock(insSndRwsemUnlock, k.G.SndCard+cardOffRwsem)
+	return 0
+}

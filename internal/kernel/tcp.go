@@ -1,0 +1,110 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// TCP congestion-control selection, carrying issue #16:
+// tcp_set_default_congestion_control() rewrites the global default CA name
+// byte-by-byte with no lock against tcp_set_congestion_control() readers
+// that resolve the "default" alias — a (benign) torn-name data race.
+
+// struct tcp_sock private layout.
+const (
+	tcpOffLock      = 0
+	tcpOffCAName    = 8 // 8-byte congestion algorithm name
+	tcpOffState     = 16
+	tcpOffSndCwnd   = 24
+	tcpSockStructSz = 32
+)
+
+// CAName is an 8-byte congestion-control algorithm name.
+type CAName [8]byte
+
+// Known congestion-control algorithms, addressable by index from test args.
+var caTable = []CAName{
+	{'c', 'u', 'b', 'i', 'c', 0, 0, 0},
+	{'r', 'e', 'n', 'o', 0, 0, 0, 0},
+	{'b', 'b', 'r', 0, 0, 0, 0, 0},
+	{'v', 'e', 'g', 'a', 's', 0, 0, 0},
+}
+
+var (
+	insTCPSetDefStrcpy = trace.DefIns("tcp_set_default_congestion_control:strcpy_name")
+	insTCPSetCALoadDef = trace.DefIns("tcp_set_congestion_control:load_default_name")
+	insTCPCAFindWord   = trace.DefIns("tcp_ca_find:memcmp_word")
+	insTCPSetCAStore   = trace.DefIns("tcp_set_congestion_control:store_ca_name")
+	insTCPConnLock     = trace.DefIns("tcp_v4_connect:lock_sock")
+	insTCPConnUnlock   = trace.DefIns("tcp_v4_connect:release_sock")
+	insTCPConnState    = trace.DefIns("tcp_v4_connect:store_state")
+	insTCPConnCwnd     = trace.DefIns("tcp_v4_connect:init_snd_cwnd")
+	insTCPSendLoadSt   = trace.DefIns("tcp_sendmsg:load_state")
+	insTCPSendCwnd     = trace.DefIns("tcp_sendmsg:load_snd_cwnd")
+)
+
+func (k *Kernel) bootTCP() {
+	k.G.TCPDefaultCA = k.staticAlloc(8)
+	k.M.Mem.WriteBytes(k.G.TCPDefaultCA, caTable[0][:])
+}
+
+// TCPSetDefaultCongestionControl installs caTable[idx] as the system default
+// with plain byte stores (the issue #16 writer).
+func (k *Kernel) TCPSetDefaultCongestionControl(t *vm.Thread, idx uint64) int64 {
+	if int(idx) >= len(caTable) {
+		return errRet(ENOENT)
+	}
+	name := caTable[idx]
+	for i := 0; i < 8; i++ {
+		t.Store(insTCPSetDefStrcpy, k.G.TCPDefaultCA+uint64(i), 1, uint64(name[i]))
+	}
+	return 0
+}
+
+// TCPSetCongestionControl sets the socket's algorithm. idx 0xff means the
+// "default" alias, which resolves by reading the global default name with
+// plain byte loads (the issue #16 reader).
+func (k *Kernel) TCPSetCongestionControl(t *vm.Thread, sk, idx uint64) int64 {
+	var name CAName
+	if idx == 0xff {
+		// Fast path: memcmp compares the name one word at a time, an
+		// 8-byte load against the writer's byte stores — an unaligned
+		// channel (different range lengths) for S-CH-UNALIGNED.
+		word := t.Load(insTCPCAFindWord, k.G.TCPDefaultCA, 8)
+		_ = word
+		for i := 0; i < 8; i++ {
+			name[i] = byte(t.Load(insTCPSetCALoadDef, k.G.TCPDefaultCA+uint64(i), 1))
+		}
+	} else {
+		if int(idx) >= len(caTable) {
+			return errRet(ENOENT)
+		}
+		name = caTable[idx]
+	}
+	for i := 0; i < 8; i++ {
+		t.Store(insTCPSetCAStore, sk+tcpOffCAName+uint64(i), 1, uint64(name[i]))
+	}
+	return 0
+}
+
+// TCPConnect transitions the socket to ESTABLISHED under the socket lock
+// (normal, well-synchronized behavior that enriches sequential traces).
+func (k *Kernel) TCPConnect(t *vm.Thread, sk uint64) int64 {
+	t.Lock(insTCPConnLock, sk+tcpOffLock)
+	t.Store(insTCPConnState, sk+tcpOffState, 8, 1 /* TCP_ESTABLISHED */)
+	t.Store(insTCPConnCwnd, sk+tcpOffSndCwnd, 8, 10)
+	t.Unlock(insTCPConnUnlock, sk+tcpOffLock)
+	return 0
+}
+
+// TCPSendmsg transmits size bytes if the connection is established.
+func (k *Kernel) TCPSendmsg(t *vm.Thread, sk, size uint64) int64 {
+	st := t.Load(insTCPSendLoadSt, sk+tcpOffState, 8)
+	if st != 1 {
+		return errRet(ENOTCONN)
+	}
+	cwnd := t.Load(insTCPSendCwnd, sk+tcpOffSndCwnd, 8)
+	_ = cwnd
+	k.DevQueueXmit(t, k.G.Eth0, size)
+	return int64(size)
+}

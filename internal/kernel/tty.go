@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// Serial TTY port, carrying issue #14: tty_port_open() reads port->flags
+// with a plain load while uart_do_autoconfig() (TIOCSSERIAL with
+// ASYNC_AUTOCONF) rewrites the flags under the port mutex — the reader can
+// observe the probe's transient "de-initialized" state.
+
+// struct uart_port layout (static).
+const (
+	uartOffMutex     = 0
+	uartOffFlags     = 8 // issue #14 target; bit0 = ASYNCB_INITIALIZED
+	uartOffType      = 16
+	uartOffIotype    = 24
+	uartOffOpenCount = 32
+	uartOffLine      = 40
+	uartStructSz     = 48
+)
+
+// ASYNC flag bits (subset).
+const (
+	AsyncInitialized = 1 << 0
+	AsyncAutoconf    = 1 << 1
+)
+
+var (
+	insUartMutexLock   = trace.DefIns("uart_port:mutex_lock")
+	insUartMutexUnlock = trace.DefIns("uart_port:mutex_unlock")
+	insTTYOpenFlags    = trace.DefIns("tty_port_open:load_port_flags")
+	insTTYOpenCount    = trace.DefIns("tty_port_open:inc_open_count")
+	insTTYOpenInit     = trace.DefIns("tty_port_open:store_port_flags")
+	insAutoconfClear   = trace.DefIns("uart_do_autoconfig:clear_port_flags")
+	insAutoconfProbe   = trace.DefIns("uart_do_autoconfig:store_port_type")
+	insAutoconfIotype  = trace.DefIns("uart_do_autoconfig:store_iotype")
+	insAutoconfSet     = trace.DefIns("uart_do_autoconfig:set_port_flags")
+	insTTYCloseCount   = trace.DefIns("tty_port_close:dec_open_count")
+)
+
+func (k *Kernel) bootTTY() {
+	k.G.UartPort = k.staticAlloc(uartStructSz)
+	k.put(k.G.UartPort+uartOffFlags, AsyncInitialized)
+	k.put(k.G.UartPort+uartOffType, 2 /* PORT_16550A */)
+	k.put(k.G.UartPort+uartOffLine, 0)
+}
+
+// TTYPortOpen opens /dev/ttyS0. The flags check is a plain unlocked load
+// (the issue #14 reader); the open count is maintained under the mutex.
+func (k *Kernel) TTYPortOpen(t *vm.Thread) int64 {
+	flags := t.Load(insTTYOpenFlags, k.G.UartPort+uartOffFlags, 8)
+	t.Lock(insUartMutexLock, k.G.UartPort+uartOffMutex)
+	n := t.Load(insTTYOpenCount, k.G.UartPort+uartOffOpenCount, 8)
+	t.Store(insTTYOpenCount, k.G.UartPort+uartOffOpenCount, 8, n+1)
+	if flags&AsyncInitialized == 0 {
+		// First open of an uninitialized port activates it.
+		t.Store(insTTYOpenInit, k.G.UartPort+uartOffFlags, 8, flags|AsyncInitialized)
+	}
+	t.Unlock(insUartMutexUnlock, k.G.UartPort+uartOffMutex)
+	return 0
+}
+
+// TTYPortClose drops the open count under the mutex.
+func (k *Kernel) TTYPortClose(t *vm.Thread) {
+	t.Lock(insUartMutexLock, k.G.UartPort+uartOffMutex)
+	n := t.Load(insTTYCloseCount, k.G.UartPort+uartOffOpenCount, 8)
+	if n > 0 {
+		t.Store(insTTYCloseCount, k.G.UartPort+uartOffOpenCount, 8, n-1)
+	}
+	t.Unlock(insUartMutexUnlock, k.G.UartPort+uartOffMutex)
+}
+
+// UartDoAutoconfig re-probes the port hardware under the port mutex,
+// transiently clearing ASYNCB_INITIALIZED (the issue #14 writer; reached
+// through ioctl(TIOCSSERIAL) with ASYNC_AUTOCONF).
+func (k *Kernel) UartDoAutoconfig(t *vm.Thread) int64 {
+	t.Lock(insUartMutexLock, k.G.UartPort+uartOffMutex)
+	flags := t.Load(insTTYOpenFlags, k.G.UartPort+uartOffFlags, 8)
+	t.Store(insAutoconfClear, k.G.UartPort+uartOffFlags, 8, flags&^uint64(AsyncInitialized))
+	t.Store(insAutoconfProbe, k.G.UartPort+uartOffType, 8, 2)
+	t.Store(insAutoconfIotype, k.G.UartPort+uartOffIotype, 8, 1)
+	t.Store(insAutoconfSet, k.G.UartPort+uartOffFlags, 8, flags|AsyncInitialized|AsyncAutoconf)
+	t.Unlock(insUartMutexUnlock, k.G.UartPort+uartOffMutex)
+	return 0
+}

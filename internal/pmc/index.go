@@ -1,0 +1,96 @@
+package pmc
+
+import (
+	"sort"
+
+	"snowboard/internal/trace"
+)
+
+// The ordered nested index of §4.2.1: writes are bucketed by start address
+// (outer order), then by range length, then by instruction. Because every
+// access is at most 8 bytes, a read [a, a+n) can only overlap writes whose
+// start address lies in (a-8, a+n); the sorted outer index makes that a
+// binary search plus a bounded scan.
+
+type writeRec struct {
+	acc  *trace.Access
+	test int
+}
+
+// maxAccessSize is the largest single access the VM can produce.
+const maxAccessSize = 8
+
+type bucket struct {
+	start  uint64
+	writes []writeRec // ordered by (size, ins) after seal
+}
+
+type index struct {
+	buckets map[uint64]*bucket
+	starts  []uint64 // sorted bucket start addresses, valid after seal
+	sealed  bool
+}
+
+func newIndex() *index {
+	return &index{buckets: make(map[uint64]*bucket)}
+}
+
+func (ix *index) addWrite(w writeRec) {
+	if ix.sealed {
+		panic("pmc: addWrite after seal")
+	}
+	b := ix.buckets[w.acc.Addr]
+	if b == nil {
+		b = &bucket{start: w.acc.Addr}
+		ix.buckets[w.acc.Addr] = b
+	}
+	b.writes = append(b.writes, w)
+}
+
+// seal freezes the index: sorts the outer address order and the nested
+// (length, instruction) order inside each bucket.
+func (ix *index) seal() {
+	ix.starts = make([]uint64, 0, len(ix.buckets))
+	for s, b := range ix.buckets {
+		ix.starts = append(ix.starts, s)
+		ws := b.writes
+		sort.SliceStable(ws, func(i, j int) bool {
+			if ws[i].acc.Size != ws[j].acc.Size {
+				return ws[i].acc.Size < ws[j].acc.Size
+			}
+			return ws[i].acc.Ins < ws[j].acc.Ins
+		})
+	}
+	sort.Slice(ix.starts, func(i, j int) bool { return ix.starts[i] < ix.starts[j] })
+	ix.sealed = true
+}
+
+// overlapping invokes fn for every write whose range overlaps the read's.
+func (ix *index) overlapping(r *trace.Access, fn func(writeRec)) {
+	if !ix.sealed {
+		panic("pmc: overlapping before seal")
+	}
+	lo := uint64(0)
+	if r.Addr > maxAccessSize {
+		lo = r.Addr - maxAccessSize + 1
+	}
+	hi := r.End() // exclusive: writes starting at or past the read's end cannot overlap
+	i := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] >= lo })
+	for ; i < len(ix.starts) && ix.starts[i] < hi; i++ {
+		b := ix.buckets[ix.starts[i]]
+		for _, w := range b.writes {
+			if w.acc.Overlaps(r) {
+				fn(w)
+			}
+		}
+	}
+}
+
+// WriteCount reports the number of indexed writes (for tests and stats).
+func (ix *index) writeCount() int {
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b.writes)
+	}
+	return n
+}

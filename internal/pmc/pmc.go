@@ -1,0 +1,163 @@
+// Package pmc implements potential memory communication (PMC)
+// identification — Algorithm 1 of the paper. It gathers the shared memory
+// accesses profiled from every sequential test, indexes them with an
+// ordered nested index, scans read/write range overlaps, and classifies an
+// overlapping pair as a PMC when the values projected onto the shared bytes
+// differ.
+package pmc
+
+import (
+	"fmt"
+
+	"snowboard/internal/trace"
+)
+
+// Key is the feature tuple of one side of a PMC: memory range, instruction
+// address, and value — exactly the read_key/write_key of Algorithm 1
+// lines 12–13.
+type Key struct {
+	Ins  trace.Ins
+	Addr uint64
+	Size uint8
+	Val  uint64
+}
+
+// String renders the key for reports.
+func (k Key) String() string {
+	return fmt.Sprintf("%s [%#x+%d]=%#x", k.Ins.Name(), k.Addr, k.Size, k.Val)
+}
+
+// PMC is a potential memory communication: a write access that, scheduled
+// before the paired read in a concurrent execution, would change what the
+// read observes. DFLeader marks PMCs whose read is the first fetch of a
+// double-fetch pair (§4.3, S-CH-DOUBLE).
+type PMC struct {
+	Write    Key
+	Read     Key
+	DFLeader bool
+}
+
+// String renders the PMC for reports.
+func (p PMC) String() string {
+	df := ""
+	if p.DFLeader {
+		df = " [df]"
+	}
+	return fmt.Sprintf("W{%s} -> R{%s}%s", p.Write, p.Read, df)
+}
+
+// Pair identifies one (writer test, reader test) combination that exhibits
+// the PMC. Writer may equal Reader: a test can communicate with a copy of
+// itself (the paper's "duplicate" concurrent tests).
+type Pair struct {
+	Writer, Reader int
+}
+
+// MaxPairsPerPMC caps the explicit pair list retained per PMC key; the
+// total combination count is still accounted in Entry.PairCount. The paper
+// identified 169 billion PMCs — only aggregates are storable at that scale.
+const MaxPairsPerPMC = 16
+
+// Entry aggregates everything known about one PMC key.
+type Entry struct {
+	PMC       PMC
+	Pairs     []Pair // up to MaxPairsPerPMC concrete test pairs
+	PairCount int64  // total combinations, uncapped
+}
+
+// Set is the PMC database produced by identification.
+type Set struct {
+	Entries map[PMC]*Entry
+
+	// TotalCombinations is the uncapped number of (PMC, writer, reader)
+	// combinations observed, the analogue of the paper's headline PMC
+	// count.
+	TotalCombinations int64
+}
+
+// NewSet returns an empty database.
+func NewSet() *Set { return &Set{Entries: make(map[PMC]*Entry)} }
+
+// Add records one observed pair for the PMC.
+func (s *Set) Add(p PMC, pair Pair) {
+	e := s.Entries[p]
+	if e == nil {
+		e = &Entry{PMC: p}
+		s.Entries[p] = e
+	}
+	if p.DFLeader && !e.PMC.DFLeader {
+		e.PMC.DFLeader = true
+	}
+	if len(e.Pairs) < MaxPairsPerPMC {
+		e.Pairs = append(e.Pairs, pair)
+	}
+	e.PairCount++
+	s.TotalCombinations++
+}
+
+// Len returns the number of distinct PMC keys.
+func (s *Set) Len() int { return len(s.Entries) }
+
+// Profile is the shared-memory access set of one sequential test (§4.1),
+// with the double-fetch leader markings computed during profiling.
+type Profile struct {
+	TestID   int
+	Accesses []trace.Access
+	DFLeader map[int]bool // indexes into Accesses
+}
+
+// Options tunes identification.
+type Options struct {
+	// AllowSelfPairs keeps PMCs whose writer and reader are the same test.
+	AllowSelfPairs bool
+	// SkipValueFilter disables Algorithm 1's projected-value inequality
+	// check (lines 9–11); used by the value-filter ablation.
+	SkipValueFilter bool
+}
+
+// DefaultOptions mirror the paper: self pairs allowed, value filter on.
+func DefaultOptions() Options { return Options{AllowSelfPairs: true} }
+
+// Identify runs Algorithm 1 over the profiles and returns the PMC set.
+func Identify(profiles []Profile, opt Options) *Set {
+	idx := newIndex()
+	for pi := range profiles {
+		p := &profiles[pi]
+		for ai := range p.Accesses {
+			a := &p.Accesses[ai]
+			if a.Kind == trace.Write {
+				idx.addWrite(writeRec{acc: a, test: p.TestID})
+			}
+		}
+	}
+	idx.seal()
+
+	set := NewSet()
+	for pi := range profiles {
+		p := &profiles[pi]
+		for ai := range p.Accesses {
+			r := &p.Accesses[ai]
+			if r.Kind != trace.Read {
+				continue
+			}
+			idx.overlapping(r, func(w writeRec) {
+				if !opt.AllowSelfPairs && w.test == p.TestID {
+					return
+				}
+				lo, hi := r.OverlapRange(w.acc)
+				if !opt.SkipValueFilter {
+					if r.ProjectVal(lo, hi) == w.acc.ProjectVal(lo, hi) {
+						return // the write would not change what the read sees
+					}
+				}
+				pmc := PMC{
+					Write:    Key{Ins: w.acc.Ins, Addr: w.acc.Addr, Size: w.acc.Size, Val: w.acc.Val},
+					Read:     Key{Ins: r.Ins, Addr: r.Addr, Size: r.Size, Val: r.Val},
+					DFLeader: p.DFLeader[ai],
+				}
+				set.Add(pmc, Pair{Writer: w.test, Reader: p.TestID})
+			})
+		}
+	}
+	return set
+}

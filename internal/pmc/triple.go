@@ -1,0 +1,105 @@
+package pmc
+
+import "sort"
+
+// Higher-dimension PMCs — the §6 extension: "PMCs of 1 shared write with 2
+// reads". A Triple is a write access whose communication can reach two
+// distinct readers; scheduled between them, the write can corrupt both
+// readers' views in one interleaving, the shape of multi-process
+// denial-of-service amplification the paper sketches for the l2tp bug.
+
+// Triple is one write feeding two distinct reads.
+type Triple struct {
+	Write Key
+	ReadA Key
+	ReadB Key
+}
+
+// TriplePair names the three tests exhibiting the triple.
+type TriplePair struct {
+	Writer  int
+	ReaderA int
+	ReaderB int
+}
+
+// TripleEntry aggregates a triple's concrete test combinations.
+type TripleEntry struct {
+	Triple Triple
+	Pairs  []TriplePair
+	Count  int64
+}
+
+// MaxTriplePairs caps the retained combinations per triple.
+const MaxTriplePairs = 8
+
+// IdentifyTriples derives write+2-read triples from an identified PMC set:
+// two PMCs sharing the same write key whose reads come from different
+// sites. The read pair is ordered canonically so each triple appears once.
+// maxTriples caps the output (0 = unlimited); triples are emitted in
+// deterministic order.
+func IdentifyTriples(set *Set, maxTriples int) []TripleEntry {
+	// Group entries by write key.
+	byWrite := make(map[Key][]*Entry)
+	for _, e := range set.Entries {
+		byWrite[e.PMC.Write] = append(byWrite[e.PMC.Write], e)
+	}
+	writes := make([]Key, 0, len(byWrite))
+	for w := range byWrite {
+		writes = append(writes, w)
+	}
+	sort.Slice(writes, func(i, j int) bool { return keyLess(writes[i], writes[j]) })
+
+	var out []TripleEntry
+	for _, w := range writes {
+		group := byWrite[w]
+		if len(group) < 2 {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return keyLess(group[i].PMC.Read, group[j].PMC.Read) })
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if a.PMC.Read.Ins == b.PMC.Read.Ins && a.PMC.Read.Addr == b.PMC.Read.Addr {
+					continue // same read site twice adds nothing
+				}
+				te := TripleEntry{Triple: Triple{Write: w, ReadA: a.PMC.Read, ReadB: b.PMC.Read}}
+				for _, pa := range a.Pairs {
+					for _, pb := range b.Pairs {
+						if pa.Writer != pb.Writer {
+							continue // the triple needs one writer test
+						}
+						if len(te.Pairs) < MaxTriplePairs {
+							te.Pairs = append(te.Pairs, TriplePair{
+								Writer:  pa.Writer,
+								ReaderA: pa.Reader,
+								ReaderB: pb.Reader,
+							})
+						}
+						te.Count++
+					}
+				}
+				if te.Count == 0 {
+					continue
+				}
+				out = append(out, te)
+				if maxTriples > 0 && len(out) >= maxTriples {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+func keyLess(a, b Key) bool {
+	if a.Ins != b.Ins {
+		return a.Ins < b.Ins
+	}
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	if a.Size != b.Size {
+		return a.Size < b.Size
+	}
+	return a.Val < b.Val
+}

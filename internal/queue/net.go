@@ -1,0 +1,221 @@
+package queue
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP transport: a Server fronts a Queue with a line-delimited JSON
+// protocol; Clients (workers on other machines) fetch jobs and report
+// results. The protocol has three request kinds:
+//
+//	{"op":"pop"}                 -> {"ok":true,"job":{...}} | {"ok":false,"err":"empty"|"closed"}
+//	{"op":"push","job":{...}}    -> {"ok":true}
+//	{"op":"report","result":{…}} -> {"ok":true}
+
+type wireReq struct {
+	Op     string          `json:"op"`
+	Job    json.RawMessage `json:"job,omitempty"`
+	Result *JobResult      `json:"result,omitempty"`
+}
+
+type wireResp struct {
+	OK  bool            `json:"ok"`
+	Err string          `json:"err,omitempty"`
+	Job json.RawMessage `json:"job,omitempty"`
+}
+
+// Server exposes a Queue over TCP.
+type Server struct {
+	Q  *Queue
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the
+// server; the bound address is available via Addr.
+func Serve(q *Queue, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("queue: listen: %w", err)
+	}
+	s := &Server{Q: q, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		var req wireReq
+		if err := json.Unmarshal(line, &req); err != nil {
+			_ = enc.Encode(wireResp{OK: false, Err: "bad request"})
+			continue
+		}
+		switch req.Op {
+		case "pop":
+			job, err := s.Q.TryPop()
+			if err != nil {
+				_ = enc.Encode(wireResp{OK: false, Err: err.Error()})
+				continue
+			}
+			raw, err := EncodeJob(job)
+			if err != nil {
+				_ = enc.Encode(wireResp{OK: false, Err: err.Error()})
+				continue
+			}
+			_ = enc.Encode(wireResp{OK: true, Job: raw})
+		case "push":
+			job, err := DecodeJob(req.Job)
+			if err != nil {
+				_ = enc.Encode(wireResp{OK: false, Err: err.Error()})
+				continue
+			}
+			if err := s.Q.Push(job); err != nil {
+				_ = enc.Encode(wireResp{OK: false, Err: err.Error()})
+				continue
+			}
+			_ = enc.Encode(wireResp{OK: true})
+		case "report":
+			if req.Result == nil {
+				_ = enc.Encode(wireResp{OK: false, Err: "missing result"})
+				continue
+			}
+			if err := s.Q.Report(*req.Result); err != nil {
+				_ = enc.Encode(wireResp{OK: false, Err: err.Error()})
+				continue
+			}
+			_ = enc.Encode(wireResp{OK: true})
+		default:
+			_ = enc.Encode(wireResp{OK: false, Err: "unknown op"})
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+// Client is a worker-side connection to a queue server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+	mu   sync.Mutex
+}
+
+// Dial connects to a queue server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("queue: dial: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+func (c *Client) roundTrip(req wireReq) (wireResp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return wireResp{}, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return wireResp{}, err
+	}
+	var resp wireResp
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return wireResp{}, err
+	}
+	return resp, nil
+}
+
+// Pop fetches the next job; ErrEmpty when none are queued, ErrClosed when
+// the queue has shut down.
+func (c *Client) Pop() (Job, error) {
+	resp, err := c.roundTrip(wireReq{Op: "pop"})
+	if err != nil {
+		return Job{}, err
+	}
+	if !resp.OK {
+		switch resp.Err {
+		case ErrEmpty.Error():
+			return Job{}, ErrEmpty
+		case ErrClosed.Error():
+			return Job{}, ErrClosed
+		}
+		return Job{}, fmt.Errorf("queue: %s", resp.Err)
+	}
+	return DecodeJob(resp.Job)
+}
+
+// Push enqueues a job remotely.
+func (c *Client) Push(j Job) error {
+	raw, err := EncodeJob(j)
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundTrip(wireReq{Op: "push", Job: raw})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("queue: %s", resp.Err)
+	}
+	return nil
+}
+
+// Report sends a result back.
+func (c *Client) Report(r JobResult) error {
+	resp, err := c.roundTrip(wireReq{Op: "report", Result: &r})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("queue: %s", resp.Err)
+	}
+	return nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

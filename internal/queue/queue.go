@@ -1,0 +1,156 @@
+// Package queue is the lightweight distributed test queue of §4.4.1 ("we
+// integrate the execution platform with a lightweight distributed queue so
+// that concurrent tests can be distributed in a cloud platform"). It
+// provides an in-process queue and a TCP transport (stdlib only) carrying
+// JSON-encoded jobs, so exploration work can fan out across workers.
+package queue
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"snowboard/internal/corpus"
+	"snowboard/internal/pmc"
+)
+
+// Job is one unit of exploration work: a serialized concurrent test.
+type Job struct {
+	ID     int            `json:"id"`
+	Writer *corpus.Prog   `json:"writer"`
+	Reader *corpus.Prog   `json:"reader"`
+	Hint   *pmc.PMC       `json:"hint,omitempty"`
+	Pair   pmc.Pair       `json:"pair"`
+	Meta   map[string]any `json:"meta,omitempty"`
+}
+
+// JobResult carries a worker's findings back.
+type JobResult struct {
+	JobID     int      `json:"job_id"`
+	Trials    int      `json:"trials"`
+	Exercised bool     `json:"exercised"`
+	IssueIDs  []string `json:"issue_ids,omitempty"`
+	BugIDs    []int    `json:"bug_ids,omitempty"`
+	Worker    string   `json:"worker,omitempty"`
+}
+
+// ErrClosed is returned by operations on a closed queue.
+var ErrClosed = errors.New("queue: closed")
+
+// ErrEmpty is returned by TryPop on an empty queue.
+var ErrEmpty = errors.New("queue: empty")
+
+// Queue is a FIFO job queue with a result channel, safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    []Job
+	results []JobResult
+	closed  bool
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job.
+func (q *Queue) Push(j Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.jobs = append(q.jobs, j)
+	q.cond.Signal()
+	return nil
+}
+
+// Pop dequeues the next job, blocking until one is available or the queue
+// closes.
+func (q *Queue) Pop() (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.jobs) == 0 {
+		return Job{}, ErrClosed
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, nil
+}
+
+// TryPop dequeues without blocking.
+func (q *Queue) TryPop() (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) == 0 {
+		if q.closed {
+			return Job{}, ErrClosed
+		}
+		return Job{}, ErrEmpty
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, nil
+}
+
+// Report records a worker's result.
+func (q *Queue) Report(r JobResult) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.results = append(q.results, r)
+	return nil
+}
+
+// Results drains and returns all recorded results.
+func (q *Queue) Results() []JobResult {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.results
+	q.results = nil
+	return out
+}
+
+// Len reports the number of queued jobs.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// Close wakes all blocked Pops; subsequent Pushes fail.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// EncodeJob serializes a job for the wire.
+func EncodeJob(j Job) ([]byte, error) { return json.Marshal(j) }
+
+// DecodeJob parses a serialized job, validating its programs.
+func DecodeJob(data []byte) (Job, error) {
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return Job{}, err
+	}
+	if j.Writer == nil || j.Reader == nil {
+		return Job{}, errors.New("queue: job missing programs")
+	}
+	if err := j.Writer.Validate(); err != nil {
+		return Job{}, err
+	}
+	if err := j.Reader.Validate(); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"snowboard/internal/corpus"
+	"snowboard/internal/kernel"
+	"snowboard/internal/pmc"
+)
+
+// ReproBundle is everything needed to re-trigger an exposed bug in a fresh
+// process: the kernel version, the two sequential tests, the PMC hint, and
+// the recorded trial state. Bundles are what cmd/snowboard writes next to
+// a finding and cmd/sbrepro replays.
+type ReproBundle struct {
+	Version kernel.Version `json:"version"`
+	Writer  *corpus.Prog   `json:"writer"`
+	Reader  *corpus.Prog   `json:"reader"`
+	Hint    *pmc.PMC       `json:"hint,omitempty"`
+	State   *ReproState    `json:"state"`
+	Finding string         `json:"finding,omitempty"`
+	BugID   int            `json:"bug_id,omitempty"`
+}
+
+// Validate checks the bundle's structure.
+func (b *ReproBundle) Validate() error {
+	if b.Writer == nil || b.Reader == nil {
+		return fmt.Errorf("sched: bundle missing programs")
+	}
+	if err := b.Writer.Validate(); err != nil {
+		return err
+	}
+	if err := b.Reader.Validate(); err != nil {
+		return err
+	}
+	if b.State == nil {
+		return fmt.Errorf("sched: bundle missing repro state")
+	}
+	return nil
+}
+
+// SaveBundle writes the bundle as JSON to path.
+func SaveBundle(path string, b *ReproBundle) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadBundle reads and validates a bundle from path.
+func LoadBundle(path string) (*ReproBundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b ReproBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("sched: bundle: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"path/filepath"
+	"testing"
+
+	"snowboard/internal/detect"
+	"snowboard/internal/exec"
+	"snowboard/internal/kernel"
+	"snowboard/internal/trace"
+)
+
+func TestBundleSaveLoadReplay(t *testing.T) {
+	env := exec.NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	set, hint := identifyL2TP(t, env)
+	x := &Explorer{Env: env, Trials: 512, Seed: 1, Mode: ModeSnowboard, Detect: detect.DefaultOptions(), KnownPMCs: set}
+	ct := ConcurrentTest{Writer: l2tpWriterProg(), Reader: l2tpReaderProg(), Hint: &hint}
+	out := x.Explore(ct)
+	if out.Repro == nil {
+		t.Fatal("no repro state recorded")
+	}
+
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	b := &ReproBundle{
+		Version: kernel.V5_12_RC3,
+		Writer:  ct.Writer,
+		Reader:  ct.Reader,
+		Hint:    ct.Hint,
+		State:   out.Repro,
+		BugID:   12,
+	}
+	if err := SaveBundle(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BugID != 12 || got.Hint == nil || got.State == nil {
+		t.Fatalf("loaded bundle: %+v", got)
+	}
+
+	// A fresh environment replays the identical crash.
+	env2 := exec.NewEnv(kernel.Config{Version: got.Version})
+	var tr trace.Trace
+	res := Replay(env2, ConcurrentTest{Writer: got.Writer, Reader: got.Reader, Hint: got.Hint}, got.State, &tr)
+	env2.M.SetTrace(nil)
+	if !res.Crashed() {
+		t.Fatal("bundle replay did not crash in a fresh environment")
+	}
+}
+
+func TestBundleValidation(t *testing.T) {
+	if err := (&ReproBundle{}).Validate(); err == nil {
+		t.Fatal("empty bundle validated")
+	}
+	b := &ReproBundle{Writer: l2tpWriterProg(), Reader: l2tpReaderProg()}
+	if err := b.Validate(); err == nil {
+		t.Fatal("bundle without state validated")
+	}
+	if _, err := LoadBundle(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading absent bundle succeeded")
+	}
+}

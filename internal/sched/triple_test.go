@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"testing"
+
+	"snowboard/internal/detect"
+	"snowboard/internal/exec"
+	"snowboard/internal/kernel"
+	"snowboard/internal/pmc"
+)
+
+// TestTripleL2TPTwoReaders runs the §6 amplification scenario for the
+// Figure 1 bug: one writer registering the tunnel, two readers racing to
+// fetch it — "attackers could trigger this bug ... by creating a massive
+// number of user processes requesting the same tunnel ID". With three
+// threads at least one reader should still dereference the half-built
+// tunnel within the trial budget.
+func TestTripleL2TPTwoReaders(t *testing.T) {
+	env := exec.NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	set, hint := identifyL2TP(t, env)
+
+	triples := pmc.IdentifyTriples(set, 0)
+	var th *pmc.Triple
+	for i := range triples {
+		tr := &triples[i]
+		if tr.Triple.Write == hint.Write {
+			th = &tr.Triple
+			break
+		}
+	}
+	if th == nil {
+		// Fall back to a hand-built triple: the same read site from two
+		// reader instances still works since both tests share the profile.
+		th = &pmc.Triple{Write: hint.Write, ReadA: hint.Read, ReadB: hint.Read}
+	}
+
+	x := &Explorer{Env: env, Trials: 512, Seed: 5, Mode: ModeSnowboard, Detect: detect.DefaultOptions(), KnownPMCs: set}
+	out := x.ExploreTriple(TripleTest{
+		Writer:  l2tpWriterProg(),
+		ReaderA: l2tpReaderProg(),
+		ReaderB: l2tpReaderProg(),
+		Hint:    th,
+	})
+	var panicked bool
+	for _, is := range out.Issues {
+		if is.BugID == 12 && is.Kind == detect.KindPanic {
+			panicked = true
+			t.Logf("triple test crashed the kernel on trial %d", out.TrialOf(is))
+		}
+	}
+	if !panicked {
+		t.Fatalf("no panic in %d three-thread trials; issues: %+v", out.Trials, out.Issues)
+	}
+}
+
+func TestIdentifyTriplesStructure(t *testing.T) {
+	set := pmc.NewSet()
+	w := pmc.Key{Ins: sIns1, Addr: 0x100, Size: 8, Val: 1}
+	rA := pmc.Key{Ins: sIns2, Addr: 0x100, Size: 8, Val: 2}
+	rB := pmc.Key{Ins: sIns2, Addr: 0x104, Size: 4, Val: 3}
+	set.Add(pmc.PMC{Write: w, Read: rA}, pmc.Pair{Writer: 0, Reader: 1})
+	set.Add(pmc.PMC{Write: w, Read: rB}, pmc.Pair{Writer: 0, Reader: 2})
+	// A second writer test for the same PMC key.
+	set.Add(pmc.PMC{Write: w, Read: rA}, pmc.Pair{Writer: 5, Reader: 1})
+
+	triples := pmc.IdentifyTriples(set, 0)
+	if len(triples) != 1 {
+		t.Fatalf("triples: %d", len(triples))
+	}
+	te := triples[0]
+	if te.Triple.Write != w {
+		t.Fatalf("triple write: %+v", te.Triple)
+	}
+	// Only combinations sharing the writer test survive.
+	if te.Count != 1 || te.Pairs[0] != (pmc.TriplePair{Writer: 0, ReaderA: 1, ReaderB: 2}) {
+		t.Fatalf("pairs: %+v (count %d)", te.Pairs, te.Count)
+	}
+}
+
+func TestIdentifyTriplesCap(t *testing.T) {
+	set := pmc.NewSet()
+	w := pmc.Key{Ins: sIns1, Addr: 0x100, Size: 8, Val: 1}
+	for i := 0; i < 6; i++ {
+		r := pmc.Key{Ins: sIns2, Addr: 0x200 + uint64(i)*8, Size: 8, Val: uint64(i)}
+		set.Add(pmc.PMC{Write: w, Read: r}, pmc.Pair{Writer: 0, Reader: i + 1})
+	}
+	if got := len(pmc.IdentifyTriples(set, 3)); got != 3 {
+		t.Fatalf("cap ignored: %d", got)
+	}
+	// 6 distinct reads -> C(6,2)=15 triples uncapped.
+	if got := len(pmc.IdentifyTriples(set, 0)); got != 15 {
+		t.Fatalf("uncapped triples: %d", got)
+	}
+}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Compact binary serialization for traces and profiles, used to ship
+// profiling output between pipeline stages and across the distributed
+// queue. The format is delta/varint coded: traces are dominated by
+// near-monotonic sequence numbers and spatially clustered addresses, so
+// zig-zag deltas shrink them by roughly an order of magnitude compared to
+// fixed-width records.
+//
+// Layout:
+//
+//	magic "SBTR" | version u8 | count uvarint | records...
+//
+// Each record:
+//
+//	flags u8            bit0 kind=write, bit1 atomic, bit2 marked,
+//	                    bit3 stack, bit4 rcu, bit5 has-locks
+//	thread uvarint
+//	ins    uvarint      (absolute; ids are hash-derived, deltas don't help)
+//	addr   svarint      (delta from previous record's addr)
+//	size   u8
+//	val    uvarint
+//	locks  uvarint n, then n svarint deltas   (only when bit5 set)
+
+const (
+	encMagic   = "SBTR"
+	encVersion = 1
+)
+
+// ErrBadTrace reports a malformed serialized trace.
+var ErrBadTrace = errors.New("trace: malformed encoding")
+
+const (
+	fKindWrite = 1 << iota
+	fAtomic
+	fMarked
+	fStack
+	fRCU
+	fLocks
+)
+
+// Encode writes the trace's accesses to w in the compact format.
+func Encode(w io.Writer, accs []Access) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(encMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(encVersion); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putS := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := putU(uint64(len(accs))); err != nil {
+		return err
+	}
+	prevAddr := uint64(0)
+	for i := range accs {
+		a := &accs[i]
+		var flags byte
+		if a.Kind == Write {
+			flags |= fKindWrite
+		}
+		if a.Atomic {
+			flags |= fAtomic
+		}
+		if a.Marked {
+			flags |= fMarked
+		}
+		if a.Stack {
+			flags |= fStack
+		}
+		if a.RCU {
+			flags |= fRCU
+		}
+		if len(a.Locks) > 0 {
+			flags |= fLocks
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := putU(uint64(a.Thread)); err != nil {
+			return err
+		}
+		if err := putU(uint64(a.Ins)); err != nil {
+			return err
+		}
+		if err := putS(int64(a.Addr) - int64(prevAddr)); err != nil {
+			return err
+		}
+		prevAddr = a.Addr
+		if err := bw.WriteByte(a.Size); err != nil {
+			return err
+		}
+		if err := putU(a.Val); err != nil {
+			return err
+		}
+		if len(a.Locks) > 0 {
+			if err := putU(uint64(len(a.Locks))); err != nil {
+				return err
+			}
+			prevLock := uint64(0)
+			for _, l := range a.Locks {
+				if err := putS(int64(l) - int64(prevLock)); err != nil {
+					return err
+				}
+				prevLock = l
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a compact trace. Sequence numbers are reassigned in order.
+func Decode(r io.Reader) ([]Access, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(magic[:]) != encMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != encVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadTrace, ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadTrace, err)
+	}
+	const sanityMax = 1 << 28
+	if count > sanityMax {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadTrace, count)
+	}
+	out := make([]Access, 0, count)
+	prevAddr := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: flags: %v", ErrBadTrace, err)
+		}
+		th, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: thread: %v", ErrBadTrace, err)
+		}
+		ins, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ins: %v", ErrBadTrace, err)
+		}
+		dAddr, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: addr: %v", ErrBadTrace, err)
+		}
+		addr := uint64(int64(prevAddr) + dAddr)
+		prevAddr = addr
+		size, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: size: %v", ErrBadTrace, err)
+		}
+		if size == 0 || size > 8 {
+			return nil, fmt.Errorf("%w: size %d", ErrBadTrace, size)
+		}
+		val, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: val: %v", ErrBadTrace, err)
+		}
+		a := Access{
+			Thread: int(th),
+			Seq:    int(i),
+			Ins:    Ins(ins),
+			Addr:   addr,
+			Size:   size,
+			Val:    val,
+			Atomic: flags&fAtomic != 0,
+			Marked: flags&fMarked != 0,
+			Stack:  flags&fStack != 0,
+			RCU:    flags&fRCU != 0,
+		}
+		if flags&fKindWrite != 0 {
+			a.Kind = Write
+		}
+		if flags&fLocks != 0 {
+			n, err := binary.ReadUvarint(br)
+			if err != nil || n > 64 {
+				return nil, fmt.Errorf("%w: lock count", ErrBadTrace)
+			}
+			locks := make([]uint64, 0, n)
+			prevLock := uint64(0)
+			for j := uint64(0); j < n; j++ {
+				d, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("%w: lock: %v", ErrBadTrace, err)
+				}
+				l := uint64(int64(prevLock) + d)
+				locks = append(locks, l)
+				prevLock = l
+			}
+			a.Locks = locks
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomAccesses(rng *rand.Rand, n int) []Access {
+	out := make([]Access, 0, n)
+	for i := 0; i < n; i++ {
+		a := Access{
+			Thread: rng.Intn(3),
+			Seq:    i,
+			Ins:    Ins(rng.Uint32()),
+			Addr:   0x10000 + uint64(rng.Intn(1<<20)),
+			Size:   uint8(rng.Intn(8) + 1),
+			Atomic: rng.Intn(8) == 0,
+			Marked: rng.Intn(8) == 0,
+			Stack:  rng.Intn(8) == 0,
+			RCU:    rng.Intn(8) == 0,
+		}
+		a.Val = rng.Uint64() & ((1 << (8 * uint(a.Size))) - 1)
+		if a.Kind = Read; rng.Intn(2) == 0 {
+			a.Kind = Write
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			a.Locks = append(a.Locks, uint64(0x100*(j+1)))
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		accs := randomAccesses(rng, rng.Intn(200))
+		var buf bytes.Buffer
+		if err := Encode(&buf, accs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(accs) {
+			t.Fatalf("round %d: %d != %d", round, len(got), len(accs))
+		}
+		for i := range accs {
+			w, g := accs[i], got[i]
+			if w.Thread != g.Thread || w.Ins != g.Ins || w.Kind != g.Kind ||
+				w.Addr != g.Addr || w.Size != g.Size || w.Val != g.Val ||
+				w.Atomic != g.Atomic || w.Marked != g.Marked ||
+				w.Stack != g.Stack || w.RCU != g.RCU {
+				t.Fatalf("round %d access %d:\nwant %+v\ngot  %+v", round, i, w, g)
+			}
+			if len(w.Locks) != len(g.Locks) {
+				t.Fatalf("locks differ at %d", i)
+			}
+			for j := range w.Locks {
+				if w.Locks[j] != g.Locks[j] {
+					t.Fatalf("lock %d differs at %d", j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SBTR\x02"),     // wrong version
+		[]byte("SBTR\x01\x05"), // truncated records
+		[]byte("SBTR\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"), // absurd count
+	}
+	for i, c := range cases {
+		if _, err := Decode(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d decoded", i)
+		}
+	}
+}
+
+func TestDecodeRejectsBadSize(t *testing.T) {
+	accs := []Access{{Addr: 0x100, Size: 8, Val: 1}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, accs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the size byte (it follows flags+thread+ins+addr).
+	idx := bytes.LastIndexByte(raw, 8)
+	raw[idx] = 99
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted size accepted")
+	}
+}
+
+func TestEncodeCompactness(t *testing.T) {
+	// Spatially clustered accesses (the common case) must encode far
+	// smaller than the naive 40+ bytes per record.
+	var accs []Access
+	for i := 0; i < 1000; i++ {
+		accs = append(accs, Access{
+			Ins:  Ins(0x1234),
+			Addr: 0x100000 + uint64(i%64)*8,
+			Size: 8,
+			Val:  uint64(i % 7),
+		})
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, accs); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / float64(len(accs))
+	if perRecord > 16 {
+		t.Fatalf("encoding too fat: %.1f bytes/record", perRecord)
+	}
+	if !strings.HasPrefix(buf.String(), "SBTR") {
+		t.Fatal("magic missing")
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+// StackSize is the fixed kernel stack size per thread, 8KB (two physical
+// pages) as on Linux x86, and stacks are StackSize-aligned. The stack-range
+// computation below mirrors the paper's use of the ESP register and the
+// current_thread_info() masking trick (§4.1.1).
+const StackSize = 8 << 10
+
+// StackRange computes the enclosing kernel stack range [lo, hi) of a stack
+// pointer: lo = esp &^ (StackSize-1), hi = lo + StackSize.
+func StackRange(esp uint64) (lo, hi uint64) {
+	lo = esp &^ (StackSize - 1)
+	return lo, lo + StackSize
+}
+
+// InStack reports whether addr falls inside the stack that contains esp.
+func InStack(addr, esp uint64) bool {
+	lo, hi := StackRange(esp)
+	return addr >= lo && addr < hi
+}
+
+// Filter selects the subset of a raw trace that participates in PMC
+// analysis. The defaults implement the paper's pruning: only non-stack
+// accesses are potentially shared (the standard assumption of §4.1.1), and
+// accesses by threads other than the profiled one are excluded (the CR3
+// filter). Synchronization-primitive accesses are excluded by default
+// because lock words communicate by design; including them is the
+// "no filtering" ablation.
+type Filter struct {
+	Thread        int  // keep only accesses by this thread; -1 keeps all
+	KeepStack     bool // keep stack accesses (ablation)
+	KeepAtomics   bool // keep synchronization accesses (ablation)
+	MaxPerProfile int  // cap on kept accesses; 0 means unlimited
+}
+
+// DefaultFilter returns the filter used for sequential profiling of the
+// given thread.
+func DefaultFilter(thread int) Filter {
+	return Filter{Thread: thread}
+}
+
+// Apply returns the accesses of tr that pass the filter, preserving order.
+func (f Filter) Apply(tr *Trace) []Access {
+	out := make([]Access, 0, len(tr.Accesses))
+	for _, a := range tr.Accesses {
+		if f.Thread >= 0 && a.Thread != f.Thread {
+			continue
+		}
+		if a.Stack && !f.KeepStack {
+			continue
+		}
+		if a.Atomic && !f.KeepAtomics {
+			continue
+		}
+		out = append(out, a)
+		if f.MaxPerProfile > 0 && len(out) >= f.MaxPerProfile {
+			break
+		}
+	}
+	return out
+}
+
+// MarkDoubleFetches sets the df_leader property on the profile: for every
+// pair of read accesses by *different* instructions to overlapping memory
+// that occur with no intervening write to that memory and read identical
+// projected values, the first read is a double-fetch leader (§4.3,
+// S-CH-DOUBLE). The returned set contains the indexes into accs of leader
+// accesses.
+func MarkDoubleFetches(accs []Access) map[int]bool {
+	leaders := make(map[int]bool)
+	// For each read, scan forward for a matching second read; stop the scan
+	// at the first write overlapping the region. Profiles are short enough
+	// (thousands of accesses) that the quadratic worst case is irrelevant,
+	// and the write cutoff keeps the common case near-linear.
+	for i := range accs {
+		first := &accs[i]
+		if first.Kind != Read {
+			continue
+		}
+	scan:
+		for j := i + 1; j < len(accs); j++ {
+			second := &accs[j]
+			if !first.Overlaps(second) {
+				continue
+			}
+			switch second.Kind {
+			case Write:
+				break scan // region updated; later reads are not double fetches of first
+			case Read:
+				if second.Ins == first.Ins {
+					continue // same instruction re-executed, e.g. a loop; not a double fetch
+				}
+				lo, hi := first.OverlapRange(second)
+				if first.ProjectVal(lo, hi) == second.ProjectVal(lo, hi) {
+					leaders[i] = true
+				}
+				break scan
+			}
+		}
+	}
+	return leaders
+}

@@ -1,0 +1,101 @@
+// Package trace defines the fundamental vocabulary of the Snowboard
+// pipeline: instruction identities, memory-access records, and the
+// filtering utilities applied to raw execution traces before PMC analysis.
+//
+// Everything above this package (the VM, the simulated kernel, the PMC
+// identifier, the schedulers) speaks in terms of these types, mirroring the
+// record shape the paper's customized hypervisor produces: address range,
+// access type, value read/written, and instruction address (§4.1).
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ins identifies a static memory-access site in the simulated kernel, the
+// analogue of an instruction address in the paper. IDs are derived from the
+// site's symbolic name so they are stable across processes and runs, which
+// lets PMCs be serialized and shipped through the distributed queue.
+type Ins uint32
+
+// NoIns is the zero instruction; no registered site ever maps to it.
+const NoIns Ins = 0
+
+var insRegistry = struct {
+	sync.RWMutex
+	byID   map[Ins]string
+	byName map[string]Ins
+}{
+	byID:   make(map[Ins]string),
+	byName: make(map[string]Ins),
+}
+
+// DefIns registers the access site named name and returns its stable ID.
+// Names follow the "kernel_function:operation" convention used in bug
+// reports (e.g. "eth_commit_mac_addr_change:memcpy_dev_addr"). Registering
+// the same name twice returns the same ID. A hash collision between two
+// distinct names panics at init time, which is when all sites register.
+func DefIns(name string) Ins {
+	insRegistry.Lock()
+	defer insRegistry.Unlock()
+	if id, ok := insRegistry.byName[name]; ok {
+		return id
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	id := Ins(h.Sum32())
+	if id == NoIns {
+		id = 1
+	}
+	for {
+		prev, taken := insRegistry.byID[id]
+		if !taken {
+			break
+		}
+		if prev == name {
+			break
+		}
+		id++ // open addressing on collision; deterministic for a fixed registration order
+		if id == NoIns {
+			id = 1
+		}
+	}
+	insRegistry.byID[id] = name
+	insRegistry.byName[name] = id
+	return id
+}
+
+// Name returns the symbolic name of the instruction, or a hex placeholder
+// for IDs that were never registered (e.g. decoded from a foreign trace).
+func (i Ins) Name() string {
+	insRegistry.RLock()
+	defer insRegistry.RUnlock()
+	if n, ok := insRegistry.byID[i]; ok {
+		return n
+	}
+	return fmt.Sprintf("ins_%#x", uint32(i))
+}
+
+// LookupIns resolves a previously registered name to its ID.
+func LookupIns(name string) (Ins, bool) {
+	insRegistry.RLock()
+	defer insRegistry.RUnlock()
+	id, ok := insRegistry.byName[name]
+	return id, ok
+}
+
+// RegisteredIns returns all registered instruction IDs in ascending order.
+// It is used by coverage accounting and by tests that validate the registry.
+func RegisteredIns() []Ins {
+	insRegistry.RLock()
+	defer insRegistry.RUnlock()
+	out := make([]Ins, 0, len(insRegistry.byID))
+	for id := range insRegistry.byID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

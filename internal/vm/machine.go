@@ -1,0 +1,245 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"snowboard/internal/trace"
+)
+
+// Scheduler decides which thread runs next. Pick is called once before the
+// first instruction (last == nil, ev.Kind == EvStart) and then after every
+// event a thread yields. It must return a Runnable thread of the machine, or
+// nil to stop the run early. This is the pluggable policy point: sequential
+// profiling, Snowboard's Algorithm 2, the SKI baseline, PCT, and random walk
+// are all implementations of this interface.
+type Scheduler interface {
+	Pick(m *Machine, last *Thread, ev Event) *Thread
+}
+
+// ErrStepLimit is returned by Run when the access budget is exhausted, the
+// machine-level backstop behind the is_live heuristic.
+var ErrStepLimit = errors.New("vm: step limit exceeded")
+
+// ErrDeadlock is returned when unfinished threads exist but none is
+// runnable (all blocked on locks or RCU).
+var ErrDeadlock = errors.New("vm: deadlock: no runnable threads")
+
+// Machine owns guest memory, the console, and the set of threads of one
+// simulated kernel instance. Exactly one thread body executes at a time.
+type Machine struct {
+	Mem     *Memory
+	Console *Console
+
+	threads []*Thread
+	trace   *trace.Trace
+
+	lockHolder  map[Addr]*Thread
+	lockWaiters map[Addr][]*Thread
+	rcuReaders  int
+	rcuWaiters  []*Thread
+
+	steps     int
+	deadlocks int
+	faults    []string
+}
+
+// NewMachine returns a machine with empty memory.
+func NewMachine() *Machine {
+	return &Machine{
+		Mem:         NewMemory(),
+		Console:     &Console{},
+		lockHolder:  make(map[Addr]*Thread),
+		lockWaiters: make(map[Addr][]*Thread),
+	}
+}
+
+// SetTrace installs the destination for access records; nil disables
+// tracing.
+func (m *Machine) SetTrace(tr *trace.Trace) { m.trace = tr }
+
+// Trace returns the current trace destination.
+func (m *Machine) Trace() *trace.Trace { return m.trace }
+
+// Steps returns the number of events processed by the last Run.
+func (m *Machine) Steps() int { return m.steps }
+
+// Faults returns the kernel crash messages raised during the last Run.
+func (m *Machine) Faults() []string { return m.faults }
+
+// Threads returns the live thread list.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Runnable returns the threads currently in the Runnable state.
+func (m *Machine) Runnable() []*Thread {
+	var out []*Thread
+	for _, t := range m.threads {
+		if t.state == Runnable {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AllDone reports whether every spawned thread has finished.
+func (m *Machine) AllDone() bool {
+	for _, t := range m.threads {
+		if t.state != Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Spawn creates a thread whose body is fn, with an 8KB kernel stack carved
+// at stackBase (which must be trace.StackSize aligned and inside a valid
+// region). The thread does not run until the scheduler picks it.
+func (m *Machine) Spawn(name string, stackBase Addr, fn func(*Thread)) *Thread {
+	if stackBase%trace.StackSize != 0 {
+		panic(fmt.Sprintf("vm: stack base %#x not %d-aligned", stackBase, trace.StackSize))
+	}
+	t := &Thread{
+		ID:      len(m.threads),
+		Name:    name,
+		m:       m,
+		state:   Runnable,
+		resume:  make(chan struct{}),
+		events:  make(chan Event),
+		stackLo: stackBase,
+		sp:      stackBase + trace.StackSize,
+	}
+	m.threads = append(m.threads, t)
+	go func() {
+		defer func() {
+			switch r := recover().(type) {
+			case nil:
+				t.events <- Event{Kind: EvDone}
+			case threadKilled:
+				// Unwound by Shutdown; nobody is listening.
+			case threadFault:
+				t.faultMsg = r.msg
+				t.events <- Event{Kind: EvFault, Fault: r.msg}
+			default:
+				panic(r)
+			}
+		}()
+		<-t.resume
+		if t.killed {
+			panic(threadKilled{})
+		}
+		fn(t)
+	}()
+	return t
+}
+
+// step resumes thread t until its next event and applies the event's state
+// transition.
+func (m *Machine) step(t *Thread) Event {
+	t.resume <- struct{}{}
+	ev := <-t.events
+	switch ev.Kind {
+	case EvDone:
+		t.state = Done
+		m.releaseDead(t)
+	case EvFault:
+		t.state = Done
+		m.faults = append(m.faults, ev.Fault)
+		m.Console.Printf("%s", ev.Fault)
+		m.Console.Printf("CPU: %d PID: %d Comm: %s", t.ID, 100+t.ID, t.Name)
+		m.Console.Printf("---[ end trace %016x ]---", uint64(t.ID+1)*0x9e3779b97f4a7c15)
+		m.releaseDead(t)
+	}
+	return ev
+}
+
+// releaseDead force-releases locks and RCU sections held by a finished
+// thread so the sibling thread can still run (mirrors a crashed CPU being
+// fenced off; without this every fault would cascade into a deadlock).
+func (m *Machine) releaseDead(t *Thread) {
+	for _, l := range append([]uint64(nil), t.locks...) {
+		m.Mem.Write(l, 8, 0)
+		delete(m.lockHolder, l)
+		for _, w := range m.lockWaiters[l] {
+			if w.state == BlockedLock && w.waitOn == l {
+				w.state = Runnable
+				w.waitOn = 0
+			}
+		}
+		delete(m.lockWaiters, l)
+	}
+	t.locks = nil
+	if t.rcuDepth > 0 {
+		m.rcuReaders -= t.rcuDepth
+		t.rcuDepth = 0
+		if m.rcuReaders == 0 {
+			for _, w := range m.rcuWaiters {
+				if w.state == BlockedRCU {
+					w.state = Runnable
+				}
+			}
+			m.rcuWaiters = m.rcuWaiters[:0]
+		}
+	}
+}
+
+// Run drives threads under the scheduler until all threads finish, the
+// scheduler returns nil, maxSteps events are processed, or no thread is
+// runnable. maxSteps <= 0 means a generous default of 1<<22.
+func (m *Machine) Run(s Scheduler, maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = 1 << 22
+	}
+	m.steps = 0
+	ev := Event{Kind: EvStart}
+	var last *Thread
+	for {
+		if m.AllDone() {
+			return nil
+		}
+		if len(m.Runnable()) == 0 {
+			m.deadlocks++
+			return ErrDeadlock
+		}
+		t := s.Pick(m, last, ev)
+		if t == nil {
+			return nil
+		}
+		if t.state != Runnable {
+			panic(fmt.Sprintf("vm: scheduler picked non-runnable thread %d (%v)", t.ID, t.state))
+		}
+		ev = m.step(t)
+		last = t
+		m.steps++
+		if m.steps >= maxSteps {
+			return ErrStepLimit
+		}
+	}
+}
+
+// Shutdown unwinds any unfinished thread goroutines. It must be called when
+// a Run ends early (step limit, deadlock, scheduler stop) before the machine
+// is dropped, otherwise goroutines leak.
+func (m *Machine) Shutdown() {
+	for _, t := range m.threads {
+		if t.state == Done {
+			continue
+		}
+		t.killed = true
+		t.state = Done
+		t.resume <- struct{}{}
+	}
+	m.threads = nil
+}
+
+// ResetRuntime clears thread and synchronization state (but not memory),
+// preparing the machine for a fresh set of threads after a snapshot restore.
+func (m *Machine) ResetRuntime() {
+	m.Shutdown()
+	m.lockHolder = make(map[Addr]*Thread)
+	m.lockWaiters = make(map[Addr][]*Thread)
+	m.rcuReaders = 0
+	m.rcuWaiters = nil
+	m.faults = nil
+	m.steps = 0
+	m.Console.Reset()
+}

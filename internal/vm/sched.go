@@ -1,0 +1,31 @@
+package vm
+
+// SeqScheduler runs threads strictly one after another in spawn order: the
+// current thread keeps running until it finishes or blocks. This is the
+// policy used for sequential test profiling (§4.1), where each test executes
+// alone from the fixed snapshot. If the current thread blocks, control moves
+// to the next runnable thread (which models the profiled thread waiting on
+// background kernel work).
+type SeqScheduler struct{}
+
+// Pick implements Scheduler.
+func (SeqScheduler) Pick(m *Machine, last *Thread, ev Event) *Thread {
+	if last != nil && last.state == Runnable {
+		return last
+	}
+	for _, t := range m.threads {
+		if t.state == Runnable {
+			return t
+		}
+	}
+	return nil
+}
+
+// FuncScheduler adapts a function to the Scheduler interface, convenient in
+// tests.
+type FuncScheduler func(m *Machine, last *Thread, ev Event) *Thread
+
+// Pick implements Scheduler.
+func (f FuncScheduler) Pick(m *Machine, last *Thread, ev Event) *Thread {
+	return f(m, last, ev)
+}

@@ -1,0 +1,358 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"snowboard/internal/trace"
+)
+
+// ThreadState is the scheduling state of a simulated kernel thread.
+type ThreadState uint8
+
+const (
+	// Runnable threads may be picked by the scheduler.
+	Runnable ThreadState = iota
+	// BlockedLock threads wait for a lock word to be released.
+	BlockedLock
+	// BlockedRCU threads wait inside synchronize_rcu for readers to drain.
+	BlockedRCU
+	// Done threads have finished (normally or by fault).
+	Done
+)
+
+// EventKind classifies what a thread reported back to the machine when it
+// yielded.
+type EventKind uint8
+
+const (
+	// EvStart is the synthetic event passed to the scheduler's first Pick.
+	EvStart EventKind = iota
+	// EvAccess reports one completed memory access; the scheduler may
+	// switch threads here, which is the paper's yield primitive placed
+	// "right before every instruction ... after a memory access" (§4.4).
+	EvAccess
+	// EvBlocked reports that the thread cannot make progress (lock held,
+	// RCU grace period pending); the scheduler must pick another thread.
+	EvBlocked
+	// EvYield is a voluntary pause (HALT/PAUSE-style), a low-liveness hint.
+	EvYield
+	// EvDone reports normal completion of the thread body.
+	EvDone
+	// EvFault reports a kernel bug: invalid access or explicit kernel BUG().
+	EvFault
+)
+
+// Event is what a thread hands to the machine each time it yields.
+type Event struct {
+	Kind   EventKind
+	Access trace.Access // valid when Kind == EvAccess
+	Fault  string       // valid when Kind == EvFault
+}
+
+// threadKilled is panicked through a thread goroutine to unwind it when the
+// machine shuts down a run early.
+type threadKilled struct{}
+
+// threadFault unwinds a thread goroutine after a simulated kernel crash.
+type threadFault struct{ msg string }
+
+// Thread is one simulated kernel thread (the kernel side of a vCPU). Its
+// body runs on a dedicated goroutine, but the machine guarantees that at
+// most one thread goroutine executes at any moment: control is handed back
+// and forth over unbuffered channels, so the simulation is fully
+// deterministic and free of host-level data races.
+type Thread struct {
+	ID   int
+	Name string
+
+	m       *Machine
+	state   ThreadState
+	waitOn  Addr // lock address when BlockedLock
+	resume  chan struct{}
+	events  chan Event
+	started bool
+	killed  bool
+
+	stackLo Addr // kernel stack region [stackLo, stackLo+trace.StackSize)
+	sp      Addr // current stack pointer (grows down)
+
+	locks    []uint64 // sorted addresses of locks held; treated as immutable
+	rcuDepth int
+
+	faultMsg string
+	accesses int // accesses performed by this thread in the current run
+}
+
+// State returns the scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// FaultMsg returns the crash message if the thread died on a fault.
+func (t *Thread) FaultMsg() string { return t.faultMsg }
+
+// Accesses returns how many memory accesses this thread has performed.
+func (t *Thread) Accesses() int { return t.accesses }
+
+// Machine returns the owning machine.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// yield transfers control to the machine loop and blocks until resumed.
+func (t *Thread) yield(ev Event) {
+	t.events <- ev
+	<-t.resume
+	if t.killed {
+		panic(threadKilled{})
+	}
+}
+
+// Fault terminates the thread with a simulated kernel crash. The message is
+// written to the console by the machine (prefixed like a kernel oops).
+func (t *Thread) Fault(format string, args ...any) {
+	panic(threadFault{msg: fmt.Sprintf(format, args...)})
+}
+
+func (t *Thread) checkRange(addr Addr, size int) {
+	if size <= 0 || size > 8 {
+		t.Fault("BUG: invalid access size %d at %#x", size, addr)
+	}
+	if !t.m.Mem.Valid(addr, size) {
+		if addr < PageSize {
+			t.Fault("BUG: kernel NULL pointer dereference, address: %#016x", addr)
+		}
+		t.Fault("BUG: unable to handle page fault for address: %#016x", addr)
+	}
+}
+
+func (t *Thread) record(ins trace.Ins, kind trace.Kind, addr Addr, size int, val uint64, atomic, marked bool) {
+	t.accesses++
+	a := trace.Access{
+		Thread: t.ID,
+		Ins:    ins,
+		Kind:   kind,
+		Addr:   addr,
+		Size:   uint8(size),
+		Val:    val,
+		Atomic: atomic,
+		Marked: marked,
+		Stack:  addr >= t.stackLo && addr < t.stackLo+trace.StackSize,
+		RCU:    t.rcuDepth > 0,
+		Locks:  t.locks,
+	}
+	if t.m.trace != nil {
+		t.m.trace.Append(a)
+	}
+	t.yield(Event{Kind: EvAccess, Access: a})
+}
+
+// Load reads size bytes at addr as a little-endian value and reports the
+// access (with its instruction identity) to the tracer and scheduler.
+func (t *Thread) Load(ins trace.Ins, addr Addr, size int) uint64 {
+	t.checkRange(addr, size)
+	v := t.m.Mem.Read(addr, size)
+	t.record(ins, trace.Read, addr, size, v, false, false)
+	return v
+}
+
+// Store writes the low size bytes of val at addr.
+func (t *Thread) Store(ins trace.Ins, addr Addr, size int, val uint64) {
+	t.checkRange(addr, size)
+	t.m.Mem.Write(addr, size, val)
+	t.record(ins, trace.Write, addr, size, val, false, false)
+}
+
+// LoadMarked is an annotated load (READ_ONCE / rcu_dereference): it takes
+// part in PMC analysis like any plain access, but the race detector treats
+// a pair of marked accesses as intentionally concurrent, mirroring KCSAN.
+func (t *Thread) LoadMarked(ins trace.Ins, addr Addr, size int) uint64 {
+	t.checkRange(addr, size)
+	v := t.m.Mem.Read(addr, size)
+	t.record(ins, trace.Read, addr, size, v, false, true)
+	return v
+}
+
+// StoreMarked is an annotated store (WRITE_ONCE / rcu_assign_pointer).
+func (t *Thread) StoreMarked(ins trace.Ins, addr Addr, size int, val uint64) {
+	t.checkRange(addr, size)
+	t.m.Mem.Write(addr, size, val)
+	t.record(ins, trace.Write, addr, size, val, false, true)
+}
+
+// LoadAtomic is Load with the access marked as a synchronization operation,
+// which the race detector ignores and the PMC filter drops by default.
+func (t *Thread) LoadAtomic(ins trace.Ins, addr Addr, size int) uint64 {
+	t.checkRange(addr, size)
+	v := t.m.Mem.Read(addr, size)
+	t.record(ins, trace.Read, addr, size, v, true, false)
+	return v
+}
+
+// StoreAtomic is Store with the access marked as a synchronization
+// operation.
+func (t *Thread) StoreAtomic(ins trace.Ins, addr Addr, size int, val uint64) {
+	t.checkRange(addr, size)
+	t.m.Mem.Write(addr, size, val)
+	t.record(ins, trace.Write, addr, size, val, true, false)
+}
+
+// CPURelax models a PAUSE/HALT-style instruction: a voluntary yield that the
+// liveness heuristic (is_live, §4.4.1) treats as a low-liveness signal.
+func (t *Thread) CPURelax() { t.yield(Event{Kind: EvYield}) }
+
+// --- Stack ---
+
+// PushFrame reserves size bytes of kernel stack and returns the frame base.
+// Frame data accessed through the returned address is traced as stack
+// accesses, exercising the ESP-based stack filter.
+func (t *Thread) PushFrame(size int) Addr {
+	sz := uint64((size + 7) &^ 7)
+	if t.sp-sz < t.stackLo {
+		t.Fault("BUG: kernel stack overflow on thread %d", t.ID)
+	}
+	t.sp -= sz
+	return t.sp
+}
+
+// PopFrame releases the most recent size-byte frame.
+func (t *Thread) PopFrame(size int) {
+	sz := uint64((size + 7) &^ 7)
+	t.sp += sz
+	if t.sp > t.stackLo+trace.StackSize {
+		t.Fault("BUG: kernel stack underflow on thread %d", t.ID)
+	}
+}
+
+// SP returns the current stack pointer (the simulated ESP).
+func (t *Thread) SP() Addr { return t.sp }
+
+// --- Locks ---
+
+func (t *Thread) holdLock(addr Addr) {
+	ls := make([]uint64, 0, len(t.locks)+1)
+	ls = append(ls, t.locks...)
+	ls = append(ls, addr)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	t.locks = ls
+}
+
+func (t *Thread) dropLock(addr Addr) {
+	ls := make([]uint64, 0, len(t.locks))
+	for _, l := range t.locks {
+		if l != addr {
+			ls = append(ls, l)
+		}
+	}
+	t.locks = ls
+}
+
+// HoldsLock reports whether the thread currently holds the lock at addr.
+func (t *Thread) HoldsLock(addr Addr) bool {
+	for _, l := range t.locks {
+		if l == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Lock acquires the lock word at addr (spinlock and mutex behave identically
+// under the serialized scheduler). Acquisition is a single atomic RMW event;
+// when the lock is held by another thread, the caller blocks until a release
+// wakes it. Recursive acquisition is a deadlock and faults immediately.
+func (t *Thread) Lock(ins trace.Ins, addr Addr) {
+	if t.HoldsLock(addr) {
+		t.Fault("BUG: recursive lock at %#x (%s)", addr, ins.Name())
+	}
+	for {
+		t.checkRange(addr, 8)
+		if t.m.Mem.Read(addr, 8) == 0 {
+			t.m.Mem.Write(addr, 8, uint64(t.ID)+1)
+			t.holdLock(addr)
+			t.m.lockHolder[addr] = t
+			t.record(ins, trace.Write, addr, 8, uint64(t.ID)+1, true, false)
+			return
+		}
+		// Contended: block until the holder releases.
+		t.state = BlockedLock
+		t.waitOn = addr
+		t.m.lockWaiters[addr] = append(t.m.lockWaiters[addr], t)
+		t.yield(Event{Kind: EvBlocked})
+	}
+}
+
+// Unlock releases the lock at addr and wakes all waiters.
+func (t *Thread) Unlock(ins trace.Ins, addr Addr) {
+	if !t.HoldsLock(addr) {
+		t.Fault("BUG: unlock of lock %#x not held (%s)", addr, ins.Name())
+	}
+	t.m.Mem.Write(addr, 8, 0)
+	t.dropLock(addr)
+	delete(t.m.lockHolder, addr)
+	for _, w := range t.m.lockWaiters[addr] {
+		if w.state == BlockedLock && w.waitOn == addr {
+			w.state = Runnable
+			w.waitOn = 0
+		}
+	}
+	delete(t.m.lockWaiters, addr)
+	t.record(ins, trace.Write, addr, 8, 0, true, false)
+}
+
+// TryLock attempts acquisition without blocking, returning success.
+func (t *Thread) TryLock(ins trace.Ins, addr Addr) bool {
+	if t.HoldsLock(addr) {
+		return false
+	}
+	t.checkRange(addr, 8)
+	if t.m.Mem.Read(addr, 8) != 0 {
+		t.record(ins, trace.Read, addr, 8, t.m.Mem.Read(addr, 8), true, false)
+		return false
+	}
+	t.m.Mem.Write(addr, 8, uint64(t.ID)+1)
+	t.holdLock(addr)
+	t.m.lockHolder[addr] = t
+	t.record(ins, trace.Write, addr, 8, uint64(t.ID)+1, true, false)
+	return true
+}
+
+// --- RCU ---
+
+// RCUReadLock enters an RCU read-side critical section. Sections nest.
+func (t *Thread) RCUReadLock() {
+	t.rcuDepth++
+	t.m.rcuReaders++
+}
+
+// RCUReadUnlock leaves the innermost RCU read-side critical section and, if
+// the grace period drained, wakes synchronize_rcu waiters.
+func (t *Thread) RCUReadUnlock() {
+	if t.rcuDepth == 0 {
+		t.Fault("BUG: rcu_read_unlock without rcu_read_lock on thread %d", t.ID)
+	}
+	t.rcuDepth--
+	t.m.rcuReaders--
+	if t.m.rcuReaders == 0 {
+		for _, w := range t.m.rcuWaiters {
+			if w.state == BlockedRCU {
+				w.state = Runnable
+			}
+		}
+		t.m.rcuWaiters = t.m.rcuWaiters[:0]
+	}
+}
+
+// SynchronizeRCU blocks until no other thread is inside an RCU read-side
+// critical section. Calling it from within a read-side section deadlocks by
+// construction and faults.
+func (t *Thread) SynchronizeRCU() {
+	if t.rcuDepth > 0 {
+		t.Fault("BUG: synchronize_rcu inside rcu_read_lock on thread %d", t.ID)
+	}
+	for t.m.rcuReaders > 0 {
+		t.state = BlockedRCU
+		t.m.rcuWaiters = append(t.m.rcuWaiters, t)
+		t.yield(Event{Kind: EvBlocked})
+	}
+}
+
+// RCUDepth returns the current read-side nesting depth (for tests).
+func (t *Thread) RCUDepth() int { return t.rcuDepth }

@@ -1,0 +1,476 @@
+package vm
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"snowboard/internal/trace"
+)
+
+const (
+	testRegionBase = 0x10000
+	testRegionSize = 1 << 20
+	testStackBase  = 0x200000 // must be 8K aligned
+)
+
+func newTestMachine() *Machine {
+	m := NewMachine()
+	m.Mem.AddRegion("test", testRegionBase, testRegionBase+testRegionSize)
+	m.Mem.AddRegion("stacks", testStackBase, testStackBase+8*8192)
+	return m
+}
+
+var insT = trace.DefIns("vm_test:op")
+
+func TestMemoryReadWriteRoundtrip(t *testing.T) {
+	m := newTestMachine()
+	f := func(off uint32, sizeSeed uint8, val uint64) bool {
+		size := int(sizeSeed%8) + 1
+		addr := testRegionBase + uint64(off)%(testRegionSize-8)
+		masked := val & ((1 << (8 * uint(size))) - 1)
+		m.Mem.Write(addr, size, val)
+		return m.Mem.Read(addr, size) == masked
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryCrossPage(t *testing.T) {
+	m := newTestMachine()
+	addr := uint64(testRegionBase + PageSize - 3) // straddles a page boundary
+	m.Mem.Write(addr, 8, 0xAABBCCDDEEFF1122)
+	if got := m.Mem.Read(addr, 8); got != 0xAABBCCDDEEFF1122 {
+		t.Fatalf("cross-page read %#x", got)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := newTestMachine()
+	data := []byte{1, 2, 3, 4, 5}
+	m.Mem.WriteBytes(testRegionBase+100, data)
+	got := m.Mem.ReadBytes(testRegionBase+100, 5)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestRegionOverlapPanics(t *testing.T) {
+	m := newTestMachine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping region accepted")
+		}
+	}()
+	m.Mem.AddRegion("overlap", testRegionBase+100, testRegionBase+200)
+}
+
+func TestValid(t *testing.T) {
+	m := newTestMachine()
+	if m.Mem.Valid(testRegionBase-1, 1) {
+		t.Fatal("below region valid")
+	}
+	if !m.Mem.Valid(testRegionBase, 8) {
+		t.Fatal("region start invalid")
+	}
+	if m.Mem.Valid(testRegionBase+testRegionSize-4, 8) {
+		t.Fatal("range crossing region end valid")
+	}
+	if m.Mem.Valid(0, 8) {
+		t.Fatal("null page valid")
+	}
+}
+
+func TestSnapshotCopyOnWrite(t *testing.T) {
+	m := newTestMachine()
+	m.Mem.Write(testRegionBase, 8, 111)
+	snap := m.Mem.Snapshot()
+
+	m.Mem.Write(testRegionBase, 8, 222)
+	if got := m.Mem.Read(testRegionBase, 8); got != 222 {
+		t.Fatalf("live value %d", got)
+	}
+	m.Mem.Restore(snap)
+	if got := m.Mem.Read(testRegionBase, 8); got != 111 {
+		t.Fatalf("restored value %d, snapshot was mutated", got)
+	}
+
+	// A second mutation/restore cycle must also be isolated.
+	m.Mem.Write(testRegionBase, 8, 333)
+	m.Mem.Restore(snap)
+	if got := m.Mem.Read(testRegionBase, 8); got != 111 {
+		t.Fatal("second restore broken")
+	}
+}
+
+func TestSnapshotChain(t *testing.T) {
+	m := newTestMachine()
+	m.Mem.Write(testRegionBase, 8, 1)
+	s1 := m.Mem.Snapshot()
+	m.Mem.Write(testRegionBase, 8, 2)
+	s2 := m.Mem.Snapshot()
+	m.Mem.Write(testRegionBase, 8, 3)
+
+	m.Mem.Restore(s1)
+	if m.Mem.Read(testRegionBase, 8) != 1 {
+		t.Fatal("s1 wrong")
+	}
+	m.Mem.Restore(s2)
+	if m.Mem.Read(testRegionBase, 8) != 2 {
+		t.Fatal("s2 wrong")
+	}
+}
+
+func runOne(m *Machine, fn func(*Thread)) error {
+	m.Spawn("t0", testStackBase, fn)
+	return m.Run(SeqScheduler{}, 0)
+}
+
+func TestThreadLoadStore(t *testing.T) {
+	m := newTestMachine()
+	var tr trace.Trace
+	m.SetTrace(&tr)
+	err := runOne(m, func(th *Thread) {
+		th.Store(insT, testRegionBase, 8, 42)
+		if v := th.Load(insT, testRegionBase, 8); v != 42 {
+			t.Errorf("load %d", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("trace has %d accesses", tr.Len())
+	}
+	if tr.Accesses[0].Kind != trace.Write || tr.Accesses[1].Kind != trace.Read {
+		t.Fatal("trace kinds wrong")
+	}
+}
+
+func TestNullDereferenceFaults(t *testing.T) {
+	m := newTestMachine()
+	err := runOne(m, func(th *Thread) {
+		th.Load(insT, 0x10, 8)
+		t.Error("unreachable after fault")
+	})
+	if err != nil {
+		t.Fatalf("run error: %v", err)
+	}
+	if len(m.Faults()) != 1 {
+		t.Fatalf("faults: %v", m.Faults())
+	}
+	if !m.Console.Contains("NULL pointer dereference") {
+		t.Fatalf("console: %v", m.Console.Lines())
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	m := newTestMachine()
+	_ = runOne(m, func(th *Thread) {
+		th.Store(insT, 0xdead0000, 8, 1)
+	})
+	if !m.Console.Contains("unable to handle page fault") {
+		t.Fatalf("console: %v", m.Console.Lines())
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	m := newTestMachine()
+	lock := uint64(testRegionBase + 0x800)
+	counter := uint64(testRegionBase + 0x900)
+	body := func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Lock(insT, lock)
+			v := th.Load(insT, counter, 8)
+			th.Store(insT, counter, 8, v+1)
+			th.Unlock(insT, lock)
+		}
+	}
+	m.Spawn("a", testStackBase, body)
+	m.Spawn("b", testStackBase+8192, body)
+	// Adversarial: always switch threads after every event.
+	sched := FuncScheduler(func(mm *Machine, last *Thread, ev Event) *Thread {
+		r := mm.Runnable()
+		if len(r) == 0 {
+			return nil
+		}
+		for _, th := range r {
+			if th != last {
+				return th
+			}
+		}
+		return r[0]
+	})
+	if err := m.Run(sched, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Read(counter, 8); got != 20 {
+		t.Fatalf("counter %d, lock did not serialize", got)
+	}
+}
+
+func TestRecursiveLockFaults(t *testing.T) {
+	m := newTestMachine()
+	lock := uint64(testRegionBase + 0x800)
+	_ = runOne(m, func(th *Thread) {
+		th.Lock(insT, lock)
+		th.Lock(insT, lock)
+	})
+	if !m.Console.Contains("recursive lock") {
+		t.Fatalf("console: %v", m.Console.Lines())
+	}
+}
+
+func TestUnlockNotHeldFaults(t *testing.T) {
+	m := newTestMachine()
+	_ = runOne(m, func(th *Thread) {
+		th.Unlock(insT, testRegionBase+0x800)
+	})
+	if !m.Console.Contains("unlock of lock") {
+		t.Fatalf("console: %v", m.Console.Lines())
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	m := newTestMachine()
+	lock := uint64(testRegionBase + 0x800)
+	_ = runOne(m, func(th *Thread) {
+		if !th.TryLock(insT, lock) {
+			t.Error("trylock on free lock failed")
+		}
+		if th.TryLock(insT, lock) {
+			t.Error("trylock on held lock succeeded")
+		}
+		th.Unlock(insT, lock)
+	})
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := newTestMachine()
+	l1 := uint64(testRegionBase + 0x800)
+	l2 := uint64(testRegionBase + 0x900)
+	gate := uint64(testRegionBase + 0xa00)
+	m.Spawn("a", testStackBase, func(th *Thread) {
+		th.Lock(insT, l1)
+		th.Store(insT, gate, 8, 1)
+		th.Lock(insT, l2)
+	})
+	m.Spawn("b", testStackBase+8192, func(th *Thread) {
+		th.Lock(insT, l2)
+		for th.Load(insT, gate, 8) == 0 {
+			th.CPURelax()
+		}
+		th.Lock(insT, l1)
+	})
+	// Round-robin to interleave the acquisition order.
+	i := 0
+	sched := FuncScheduler(func(mm *Machine, last *Thread, ev Event) *Thread {
+		r := mm.Runnable()
+		if len(r) == 0 {
+			return nil
+		}
+		i++
+		return r[i%len(r)]
+	})
+	err := m.Run(sched, 0)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	m.Shutdown()
+}
+
+func TestStepLimit(t *testing.T) {
+	m := newTestMachine()
+	m.Spawn("spin", testStackBase, func(th *Thread) {
+		for {
+			th.Load(insT, testRegionBase, 8)
+		}
+	})
+	err := m.Run(SeqScheduler{}, 100)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+	m.Shutdown()
+}
+
+func TestShutdownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		m := newTestMachine()
+		m.Spawn("spin", testStackBase, func(th *Thread) {
+			for {
+				th.Load(insT, testRegionBase, 8)
+			}
+		})
+		_ = m.Run(SeqScheduler{}, 50)
+		m.Shutdown()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d -> %d", before, after)
+	}
+}
+
+func TestRCUSynchronizeWaitsForReaders(t *testing.T) {
+	m := newTestMachine()
+	order := uint64(testRegionBase + 0xb00)
+	m.Spawn("reader", testStackBase, func(th *Thread) {
+		th.RCUReadLock()
+		th.Load(insT, testRegionBase, 8) // hold the section across a yield
+		th.Load(insT, testRegionBase, 8)
+		th.Store(insT, order, 8, 1) // reader-side work done
+		th.RCUReadUnlock()
+	})
+	m.Spawn("writer", testStackBase+8192, func(th *Thread) {
+		th.Load(insT, testRegionBase, 8) // let the reader enter first
+		th.SynchronizeRCU()
+		if th.Load(insT, order, 8) != 1 {
+			t.Error("synchronize_rcu returned before reader finished")
+		}
+	})
+	// Let the reader enter its RCU section (two events), then prefer the
+	// writer so it reaches SynchronizeRCU while the section is open.
+	readerEvents := 0
+	sched := FuncScheduler(func(mm *Machine, last *Thread, ev Event) *Thread {
+		if last != nil && last.ID == 0 && ev.Kind == EvAccess {
+			readerEvents++
+		}
+		r := mm.Runnable()
+		if len(r) == 0 {
+			return nil
+		}
+		want := 0
+		if readerEvents >= 1 {
+			want = 1
+		}
+		for _, th := range r {
+			if th.ID == want {
+				return th
+			}
+		}
+		return r[0]
+	})
+	if err := m.Run(sched, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCUUnbalancedUnlockFaults(t *testing.T) {
+	m := newTestMachine()
+	_ = runOne(m, func(th *Thread) {
+		th.RCUReadUnlock()
+	})
+	if !m.Console.Contains("rcu_read_unlock without") {
+		t.Fatalf("console: %v", m.Console.Lines())
+	}
+}
+
+func TestStackFrames(t *testing.T) {
+	m := newTestMachine()
+	var tr trace.Trace
+	m.SetTrace(&tr)
+	err := runOne(m, func(th *Thread) {
+		sp0 := th.SP()
+		f := th.PushFrame(24)
+		if th.SP() != sp0-24 {
+			t.Errorf("sp after push: %#x", th.SP())
+		}
+		th.Store(insT, f, 8, 7)
+		if v := th.Load(insT, f, 8); v != 7 {
+			t.Errorf("stack slot %d", v)
+		}
+		th.PopFrame(24)
+		if th.SP() != sp0 {
+			t.Errorf("sp after pop: %#x", th.SP())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range tr.Accesses {
+		if !a.Stack {
+			t.Fatalf("frame access not marked stack: %+v", a)
+		}
+	}
+}
+
+func TestStackOverflowFaults(t *testing.T) {
+	m := newTestMachine()
+	_ = runOne(m, func(th *Thread) {
+		for {
+			th.PushFrame(4096)
+		}
+	})
+	if !m.Console.Contains("stack overflow") {
+		t.Fatalf("console: %v", m.Console.Lines())
+	}
+}
+
+func TestLockWordValueVisible(t *testing.T) {
+	// The lock word lives in guest memory: acquisitions store the holder,
+	// releases store zero, and both appear in the trace as atomics.
+	m := newTestMachine()
+	var tr trace.Trace
+	m.SetTrace(&tr)
+	lock := uint64(testRegionBase + 0x800)
+	_ = runOne(m, func(th *Thread) {
+		th.Lock(insT, lock)
+		th.Unlock(insT, lock)
+	})
+	if tr.Len() != 2 || !tr.Accesses[0].Atomic || !tr.Accesses[1].Atomic {
+		t.Fatalf("lock traffic not atomic in trace: %+v", tr.Accesses)
+	}
+	if tr.Accesses[0].Val == 0 || tr.Accesses[1].Val != 0 {
+		t.Fatalf("lock word values wrong: %+v", tr.Accesses)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() []trace.Access {
+		m := newTestMachine()
+		var tr trace.Trace
+		m.SetTrace(&tr)
+		lock := uint64(testRegionBase + 0x800)
+		body := func(th *Thread) {
+			for i := 0; i < 5; i++ {
+				th.Lock(insT, lock)
+				v := th.Load(insT, testRegionBase, 8)
+				th.Store(insT, testRegionBase, 8, v+1)
+				th.Unlock(insT, lock)
+			}
+		}
+		m.Spawn("a", testStackBase, body)
+		m.Spawn("b", testStackBase+8192, body)
+		i := 0
+		sched := FuncScheduler(func(mm *Machine, last *Thread, ev Event) *Thread {
+			r := mm.Runnable()
+			if len(r) == 0 {
+				return nil
+			}
+			i++
+			return r[i%len(r)]
+		})
+		if err := m.Run(sched, 0); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Accesses
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Addr != b[i].Addr || a[i].Val != b[i].Val || a[i].Thread != b[i].Thread {
+			t.Fatalf("access %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
