@@ -16,11 +16,13 @@ package snowboard_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"snowboard"
 	"snowboard/internal/cluster"
 	"snowboard/internal/detect"
 	"snowboard/internal/kernel"
+	"snowboard/internal/obs"
 	"snowboard/internal/pmc"
 	"snowboard/internal/sched"
 	"snowboard/internal/trace"
@@ -457,6 +459,45 @@ func BenchmarkAblationIncidentalPMCs(b *testing.B) {
 			b.ReportMetric(float64(total)/float64(b.N), "trials/expose")
 		})
 	}
+}
+
+// BenchmarkObsOverhead runs the same small full-pipeline campaign with the
+// observability layer enabled and disabled and reports the relative cost.
+// The layer's budget is ≤5% of end-to-end runtime: counters are single
+// atomic adds and stage spans amortize over whole stages.
+func BenchmarkObsOverhead(b *testing.B) {
+	defer obs.SetEnabled(true)
+	runOnce := func(seed int64) {
+		opts := snowboard.DefaultOptions()
+		opts.Seed = seed
+		opts.FuzzBudget = 400
+		opts.CorpusCap = 100
+		opts.TestBudget = 40
+		opts.Trials = 8
+		if _, err := snowboard.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runOnce(1) // warm up code paths before timing either arm
+	var onNS, offNS int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.SetEnabled(true)
+		t0 := time.Now()
+		runOnce(int64(i) + 5)
+		onNS += int64(time.Since(t0))
+
+		obs.SetEnabled(false)
+		t0 = time.Now()
+		runOnce(int64(i) + 5)
+		offNS += int64(time.Since(t0))
+	}
+	obs.SetEnabled(true)
+	if offNS > 0 {
+		b.ReportMetric(100*(float64(onNS)-float64(offNS))/float64(offNS), "overhead-%")
+	}
+	b.ReportMetric(float64(onNS)/float64(b.N)/1e6, "ms/run-enabled")
+	b.ReportMetric(float64(offNS)/float64(b.N)/1e6, "ms/run-disabled")
 }
 
 // BenchmarkAblationClusterOrder isolates the uncommon-first ordering

@@ -6,19 +6,22 @@
 // Usage:
 //
 //	sbexec -addr 127.0.0.1:7070 [-version 5.12-rc3] [-trials 64]
-//	       [-name worker-1] [-idle-exit 5s]
+//	       [-name worker-1] [-idle-exit 5s] [-http :0] [-progress 10s]
+//
+// All worker chatter goes to stderr; with -http, the worker's own metrics
+// (exec.tests, sched.trials, channel hits, …) are served live.
 package main
 
 import (
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"time"
 
 	"snowboard"
 	"snowboard/internal/detect"
+	"snowboard/internal/obs"
 	"snowboard/internal/queue"
 	"snowboard/internal/sched"
 )
@@ -30,8 +33,23 @@ func main() {
 		trials   = flag.Int("trials", 64, "interleaving trials per test")
 		name     = flag.String("name", hostDefault(), "worker name in reports")
 		idleExit = flag.Duration("idle-exit", 5*time.Second, "exit after this long with an empty queue")
+		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
+		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
 	)
 	flag.Parse()
+	diag := obs.Diag
+	diag.SetPrefix("sbexec[" + *name + "]")
+
+	if *httpAddr != "" {
+		srv, err := obs.StartHTTP(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		diag.Printf("introspection listening on http://%s", srv.Addr())
+	}
+	stopProgress := obs.StartProgress(*progress, diag)
+	defer stopProgress()
 
 	client, err := queue.Dial(*addr)
 	if err != nil {
@@ -54,13 +72,13 @@ func main() {
 		switch {
 		case errors.Is(err, queue.ErrEmpty):
 			if time.Since(idleSince) > *idleExit {
-				fmt.Printf("%s: queue idle, processed %d jobs, exiting\n", *name, jobs)
+				diag.Printf("queue idle, processed %d jobs, exiting", jobs)
 				return
 			}
 			time.Sleep(100 * time.Millisecond)
 			continue
 		case errors.Is(err, queue.ErrClosed):
-			fmt.Printf("%s: queue closed, processed %d jobs\n", *name, jobs)
+			diag.Printf("queue closed, processed %d jobs", jobs)
 			return
 		case err != nil:
 			log.Fatal(err)

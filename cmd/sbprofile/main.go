@@ -7,7 +7,7 @@
 // Usage:
 //
 //	sbprofile [-version 5.12-rc3] [-seed 1] [-fuzz 400] [-corpus 120]
-//	          [-top 10] [-dump-tests]
+//	          [-top 10] [-dump-tests] [-http :0] [-progress 10s]
 package main
 
 import (
@@ -15,21 +15,37 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"snowboard"
 	"snowboard/internal/cluster"
+	"snowboard/internal/obs"
 )
 
 func main() {
 	var (
-		version = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		fuzzN   = flag.Int("fuzz", 400, "sequential fuzzing executions")
-		corpusN = flag.Int("corpus", 120, "corpus size cap")
-		top     = flag.Int("top", 10, "hottest channels to print")
-		dump    = flag.Bool("dump-tests", false, "print every corpus program")
+		version  = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		fuzzN    = flag.Int("fuzz", 400, "sequential fuzzing executions")
+		corpusN  = flag.Int("corpus", 120, "corpus size cap")
+		top      = flag.Int("top", 10, "hottest channels to print")
+		dump     = flag.Bool("dump-tests", false, "print every corpus program")
+		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
+		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
 	)
 	flag.Parse()
+	obs.Diag.SetPrefix("sbprofile")
+
+	if *httpAddr != "" {
+		srv, err := obs.StartHTTP(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		obs.Diag.Printf("introspection listening on http://%s", srv.Addr())
+	}
+	stopProgress := obs.StartProgress(*progress, obs.Diag)
+	defer stopProgress()
 
 	opts := snowboard.DefaultOptions()
 	opts.Version = snowboard.Version(*version)

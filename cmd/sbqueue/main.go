@@ -7,32 +7,53 @@
 //
 //	sbqueue [-addr 127.0.0.1:7070] [-version 5.12-rc3] [-method S-INS-PAIR]
 //	        [-seed 1] [-fuzz 400] [-corpus 120] [-tests 200] [-wait 30s]
+//	        [-http :8080] [-progress 10s]
+//
+// Operational chatter goes to stderr; only the final summary is written to
+// stdout. With -http, the live introspection server exposes the queue's
+// per-op counters, depth, and in-flight connections alongside the pipeline
+// metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"sort"
 	"time"
 
 	"snowboard"
+	"snowboard/internal/obs"
 	"snowboard/internal/queue"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
-		version = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version")
-		method  = flag.String("method", "S-INS-PAIR", "generation method")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		fuzzN   = flag.Int("fuzz", 400, "sequential fuzzing executions")
-		corpusN = flag.Int("corpus", 120, "corpus size cap")
-		tests   = flag.Int("tests", 200, "concurrent tests to enqueue")
-		wait    = flag.Duration("wait", 30*time.Second, "how long to wait for workers after the queue drains")
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		version  = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version")
+		method   = flag.String("method", "S-INS-PAIR", "generation method")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		fuzzN    = flag.Int("fuzz", 400, "sequential fuzzing executions")
+		corpusN  = flag.Int("corpus", 120, "corpus size cap")
+		tests    = flag.Int("tests", 200, "concurrent tests to enqueue")
+		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for workers after the queue drains")
+		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
+		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
 	)
 	flag.Parse()
+	diag := obs.Diag
+	diag.SetPrefix("sbqueue")
+
+	if *httpAddr != "" {
+		srv, err := obs.StartHTTP(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		diag.Printf("introspection listening on http://%s", srv.Addr())
+	}
+	stopProgress := obs.StartProgress(*progress, diag)
+	defer stopProgress()
 
 	opts := snowboard.DefaultOptions()
 	opts.Version = snowboard.Version(*version)
@@ -53,7 +74,7 @@ func main() {
 	}
 	p.IdentifyPMCs(r)
 	cts := p.GenerateTests(r, *tests)
-	fmt.Printf("corpus=%d pmcs=%d generated=%d concurrent tests\n", r.CorpusSize, r.DistinctPMCs, len(cts))
+	diag.Printf("corpus=%d pmcs=%d generated=%d concurrent tests", r.CorpusSize, r.DistinctPMCs, len(cts))
 
 	q := queue.New()
 	srv, err := queue.Serve(q, *addr)
@@ -61,7 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("queue listening on %s — start workers with:\n  sbexec -addr %s -version %s\n",
+	diag.Printf("queue listening on %s — start workers with: sbexec -addr %s -version %s",
 		srv.Addr(), srv.Addr(), *version)
 
 	for i, ct := range cts {
@@ -92,7 +113,7 @@ func main() {
 		time.Sleep(200 * time.Millisecond)
 	}
 
-	fmt.Printf("\n%d/%d jobs reported, %d exercised their PMC channel\n", len(done), len(cts), exercised)
+	fmt.Printf("%d/%d jobs reported, %d exercised their PMC channel\n", len(done), len(cts), exercised)
 	ids := make([]int, 0, len(found))
 	for id := range found {
 		ids = append(ids, id)
@@ -100,6 +121,6 @@ func main() {
 	sort.Ints(ids)
 	fmt.Printf("issues found (Table 2 numbers): %v\n", ids)
 	if len(done) < len(cts) {
-		fmt.Fprintln(os.Stderr, "warning: some jobs never reported; workers may still be running")
+		diag.Printf("warning: some jobs never reported; workers may still be running")
 	}
 }

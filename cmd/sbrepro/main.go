@@ -21,6 +21,7 @@ import (
 	"snowboard"
 	"snowboard/internal/detect"
 	"snowboard/internal/diagnose"
+	"snowboard/internal/obs"
 	"snowboard/internal/sched"
 	"snowboard/internal/trace"
 )
@@ -31,6 +32,7 @@ func main() {
 		quiet = flag.Bool("quiet", false, "suppress the interleaving diagram")
 	)
 	flag.Parse()
+	obs.Diag.SetPrefix("sbrepro")
 	if *path == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -76,7 +78,7 @@ func main() {
 		fmt.Println(diagnose.Render(&tr, b.Hint, issues, diagnose.DefaultOptions()))
 	}
 	if !res.Crashed() && detect.Harmless(issues) {
-		fmt.Fprintln(os.Stderr, "warning: replay surfaced no harmful finding — bundle may be stale")
+		obs.Diag.Printf("warning: replay surfaced no harmful finding — bundle may be stale")
 		os.Exit(1)
 	}
 }

@@ -5,27 +5,39 @@
 //
 // Usage:
 //
-//	snowboard [-version 5.12-rc3] [-method S-INS-PAIR] [-seed 1]
-//	          [-fuzz 400] [-corpus 120] [-tests 60] [-trials 16]
-//	          [-compare] [-v]
+//	snowboard [-mode full|compare] [-version 5.12-rc3] [-method S-INS-PAIR]
+//	          [-seed 1] [-fuzz 400] [-corpus 120] [-tests 60] [-trials 16]
+//	          [-json] [-http :8080] [-progress 10s] [-trace events.jsonl]
+//	          [-v]
 //
-// With -compare, every generation method of the paper's Table 3 runs on
-// the same profiled corpus and one row is printed per method.
+// With -mode compare (or the legacy -compare flag), every generation
+// method of the paper's Table 3 runs on the same profiled corpus and one
+// row is printed per method.
+//
+// Only the report is written to stdout (plain text, or JSON with -json);
+// every progress and diagnostic line goes to stderr. With -http, a live
+// introspection server exposes /metrics (Prometheus text), /progress
+// (JSON), /debug/vars (expvar), and /debug/pprof/ for the duration of the
+// run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"snowboard"
+	"snowboard/internal/obs"
 	"snowboard/internal/sched"
 )
 
 func main() {
 	var (
+		mode     = flag.String("mode", "full", "run mode: full (one method) or compare (all Table 3 methods)")
 		version  = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version (5.3.10 or 5.12-rc3)")
 		method   = flag.String("method", "S-INS-PAIR", "generation method (Table 1 strategy, 'Random S-INS-PAIR', 'Random pairing', 'Duplicate pairing')")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
@@ -33,11 +45,16 @@ func main() {
 		corpusN  = flag.Int("corpus", 120, "corpus size cap")
 		tests    = flag.Int("tests", 60, "concurrent tests to execute")
 		trials   = flag.Int("trials", 16, "interleaving trials per concurrent test")
-		compare  = flag.Bool("compare", false, "run every Table 3 method on one shared corpus")
+		compare  = flag.Bool("compare", false, "legacy alias for -mode compare")
+		jsonOut  = flag.Bool("json", false, "emit the final report as JSON on stdout")
+		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
+		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
+		traceOut = flag.String("trace", "", "append JSONL span events to this file")
 		verbose  = flag.Bool("v", false, "verbose per-issue output")
 		reproDir = flag.String("repro-dir", "", "write reproduction bundles for crash-level findings here")
 	)
 	flag.Parse()
+	diag := obs.Diag
 
 	opts := snowboard.DefaultOptions()
 	switch *version {
@@ -55,9 +72,35 @@ func main() {
 	opts.TestBudget = *tests
 	opts.Trials = *trials
 
-	if *compare {
-		runComparison(opts, *verbose)
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snowboard: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		obs.SetTraceSink(f)
+		defer obs.SetTraceSink(nil)
+	}
+	if *httpAddr != "" {
+		srv, err := obs.StartHTTP(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snowboard: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		diag.Printf("introspection listening on http://%s (/metrics /progress /debug/vars /debug/pprof)", srv.Addr())
+	}
+	stopProgress := obs.StartProgress(*progress, diag)
+	defer stopProgress()
+
+	if *compare || *mode == "compare" {
+		runComparison(opts, *verbose, *jsonOut)
 		return
+	}
+	if *mode != "full" {
+		fmt.Fprintf(os.Stderr, "snowboard: unknown mode %q (full or compare)\n", *mode)
+		os.Exit(2)
 	}
 
 	m, ok := snowboard.MethodByName(*method)
@@ -75,9 +118,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snowboard: %v\n", err)
 		os.Exit(1)
 	}
-	printReport(report, *verbose)
+	if *jsonOut {
+		printJSON(report)
+	} else {
+		printReport(report, *verbose)
+	}
 	if *reproDir != "" {
 		writeBundles(report, opts.Version, *reproDir)
+	}
+}
+
+// jsonReport augments the registry-backed Report with its derived figures
+// for machine consumers.
+type jsonReport struct {
+	*snowboard.Report
+	BugIDs     []int   `json:"bug_ids"`
+	Accuracy   float64 `json:"accuracy"`
+	ExecPerMin float64 `json:"exec_per_min"`
+}
+
+func wrapJSON(r *snowboard.Report) jsonReport {
+	return jsonReport{Report: r, BugIDs: r.BugIDs(), Accuracy: r.Accuracy(), ExecPerMin: r.ExecPerMin()}
+}
+
+func printJSON(r *snowboard.Report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(wrapJSON(r)); err != nil {
+		fmt.Fprintf(os.Stderr, "snowboard: encoding report: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -106,19 +175,19 @@ func writeBundles(r *snowboard.Report, version snowboard.Version, dir string) {
 			fmt.Fprintf(os.Stderr, "snowboard: bundle for #%d: %v\n", id, err)
 			continue
 		}
-		fmt.Printf("  repro bundle written: %s (replay with: sbrepro -bundle %s)\n", path, path)
+		obs.Diag.Printf("repro bundle written: %s (replay with: sbrepro -bundle %s)", path, path)
 	}
 }
 
 func printReport(r *snowboard.Report, verbose bool) {
 	fmt.Printf("kernel %s, method %s\n", r.Version, r.Method)
-	fmt.Printf("  corpus: %d tests (%d fuzz executions), %d shared accesses profiled in %v\n",
-		r.CorpusSize, r.FuzzExecutions, r.ProfiledAccesses, r.ProfileTime)
+	fmt.Printf("  corpus: %d tests (%d fuzz executions in %v), %d shared accesses profiled in %v\n",
+		r.CorpusSize, r.FuzzExecutions, r.FuzzTime, r.ProfiledAccesses, r.ProfileTime)
 	fmt.Printf("  PMCs: %d distinct keys / %d combinations identified in %v\n",
 		r.DistinctPMCs, r.PMCCombinations, r.IdentifyTime)
 	fmt.Printf("  clusters (exemplar PMCs): %d\n", r.ExemplarPMCs)
-	fmt.Printf("  executed: %d concurrent tests (%d trials, %d switches) in %v\n",
-		r.TestedTests, r.TrialsRun, r.Switches, r.ExecTime)
+	fmt.Printf("  executed: %d concurrent tests (%d trials, %d switches) in %v (%.1f exec/min)\n",
+		r.TestedTests, r.TrialsRun, r.Switches, r.ExecTime, r.ExecPerMin())
 	fmt.Printf("  PMC accuracy: %d/%d = %.0f%% of hinted tests exercised their channel\n",
 		r.Exercised, r.TestedPMCs, 100*r.Accuracy())
 	fmt.Printf("  concurrency coverage: %d alias instruction pairs\n", r.CoverPairs)
@@ -142,10 +211,13 @@ func printIssues(r *snowboard.Report) {
 	}
 }
 
-func runComparison(base snowboard.Options, verbose bool) {
-	fmt.Printf("Table 3 comparison, kernel %s, %d tests x %d trials per method\n\n",
-		base.Version, base.TestBudget, base.Trials)
-	fmt.Printf("%-20s %12s %10s %10s  %s\n", "Method", "Exemplars", "Tested", "Exercised", "Issues (test# found)")
+func runComparison(base snowboard.Options, verbose, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("Table 3 comparison, kernel %s, %d tests x %d trials per method\n\n",
+			base.Version, base.TestBudget, base.Trials)
+		fmt.Printf("%-20s %12s %10s %10s  %s\n", "Method", "Exemplars", "Tested", "Exercised", "Issues (test# found)")
+	}
+	var reports []jsonReport
 	for _, m := range snowboard.Methods() {
 		opts := base
 		opts.Method = m
@@ -154,9 +226,21 @@ func runComparison(base snowboard.Options, verbose bool) {
 			fmt.Fprintf(os.Stderr, "snowboard: %s: %v\n", m.Name, err)
 			continue
 		}
+		if jsonOut {
+			reports = append(reports, wrapJSON(r))
+			continue
+		}
 		fmt.Printf("%-20s %12d %10d %10d  %s\n", r.Method, r.ExemplarPMCs, r.TestedTests, r.Exercised, issueSummary(r))
 		if verbose {
 			printIssues(r)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "snowboard: encoding reports: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"snowboard/internal/cluster"
 	"snowboard/internal/detect"
 	"snowboard/internal/kernel"
+	"snowboard/internal/obs"
 	"snowboard/internal/pmc"
 	"snowboard/internal/sched"
 )
@@ -116,7 +117,11 @@ type IssueRecord struct {
 }
 
 // Report is the outcome of one pipeline run — one Table 3 row plus the
-// §5.3.2 accuracy counters and §5.4 stage timings.
+// §5.3.2 accuracy counters and §5.4 stage timings. Stage durations are
+// measured by the obs stage spans (the same measurements that feed the
+// "stage.*.duration_ns" histograms in the process-wide registry), so the
+// report is a per-run view over the observability layer; Metrics, when
+// captured, freezes the full registry alongside it.
 type Report struct {
 	Method  string
 	Version kernel.Version
@@ -124,6 +129,7 @@ type Report struct {
 	// Stage 1.
 	CorpusSize       int
 	FuzzExecutions   int
+	FuzzTime         time.Duration
 	ProfiledAccesses int
 	ProfileTime      time.Duration
 
@@ -150,6 +156,26 @@ type Report struct {
 	// Findings.
 	Issues  map[int]IssueRecord // Table 2 bug id -> first-discovery record
 	Unknown []detect.Issue      // findings not matching Table 2
+
+	// Metrics is the process-wide obs registry frozen when the run
+	// finished (set by Run / CaptureMetrics); nil if never captured.
+	Metrics *obs.Snapshot `json:",omitempty"`
+}
+
+// CaptureMetrics freezes the current state of the process-wide metrics
+// registry into the report.
+func (r *Report) CaptureMetrics() {
+	snap := obs.Default.Snapshot()
+	r.Metrics = &snap
+}
+
+// ExecPerMin returns concurrent-test execution throughput over stage-4
+// time — the paper's §5.4 exec/min metric (193.8 vs 170.3 in Table 4).
+func (r *Report) ExecPerMin() float64 {
+	if r.ExecTime <= 0 || r.TestedTests == 0 {
+		return 0
+	}
+	return float64(r.TestedTests) / r.ExecTime.Minutes()
 }
 
 // Accuracy returns the fraction of hinted tests that exercised their

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"snowboard/internal/cluster"
 	"snowboard/internal/corpus"
@@ -12,8 +11,17 @@ import (
 	"snowboard/internal/exec"
 	"snowboard/internal/fuzz"
 	"snowboard/internal/kernel"
+	"snowboard/internal/obs"
 	"snowboard/internal/pmc"
 	"snowboard/internal/sched"
+)
+
+// Pipeline-level metrics. Stage durations flow through obs spans (one
+// histogram per stage, e.g. "stage.profile.duration_ns"); the hand-rolled
+// time.Since fields on Report are views over those span measurements.
+var (
+	mGenTests    = obs.C(obs.MGenTests)
+	mIssuesFound = obs.G(obs.MIssuesFound)
 )
 
 // Pipeline holds the state flowing between the four stages so that callers
@@ -45,10 +53,12 @@ func NewPipeline(opts Options) *Pipeline {
 
 // BuildCorpus runs the fuzzing campaign (stage 1a).
 func (p *Pipeline) BuildCorpus(r *Report) {
+	span := obs.StartSpan("stage.fuzz", obs.A("budget", p.Opts.FuzzBudget))
 	res := fuzz.Campaign(p.Env, p.Opts.Seed, p.Opts.FuzzBudget, p.Opts.CorpusCap)
 	p.Corpus = res.Corpus
 	r.CorpusSize = p.Corpus.Len()
 	r.FuzzExecutions = res.Executed
+	r.FuzzTime = span.End(obs.A("executed", res.Executed), obs.A("corpus", r.CorpusSize))
 }
 
 // SetCorpus installs an externally built corpus (e.g. shared across the
@@ -58,17 +68,18 @@ func (p *Pipeline) SetCorpus(c *corpus.Corpus) { p.Corpus = c }
 // ProfileAll records the shared-memory access set of every corpus test
 // from the fixed snapshot (stage 1b).
 func (p *Pipeline) ProfileAll(r *Report) error {
-	start := time.Now()
+	span := obs.StartSpan("stage.profile", obs.A("tests", p.Corpus.Len()))
 	p.Profiles = p.Profiles[:0]
 	for i, prog := range p.Corpus.Progs {
 		accs, df, res := p.Env.Profile(prog)
 		if res.Crashed() {
+			span.End(obs.A("crashed_test", i))
 			return fmt.Errorf("core: corpus test %d crashed during profiling: %v", i, res.Faults)
 		}
 		p.Profiles = append(p.Profiles, pmc.Profile{TestID: i, Accesses: accs, DFLeader: df})
 		r.ProfiledAccesses += len(accs)
 	}
-	r.ProfileTime = time.Since(start)
+	r.ProfileTime = span.End(obs.A("accesses", r.ProfiledAccesses))
 	return nil
 }
 
@@ -77,11 +88,11 @@ func (p *Pipeline) SetProfiles(profiles []pmc.Profile) { p.Profiles = profiles }
 
 // IdentifyPMCs runs Algorithm 1 over the profiles (stage 2).
 func (p *Pipeline) IdentifyPMCs(r *Report) {
-	start := time.Now()
+	span := obs.StartSpan("stage.identify", obs.A("profiles", len(p.Profiles)))
 	p.PMCs = pmc.Identify(p.Profiles, p.Opts.PMC)
 	r.DistinctPMCs = p.PMCs.Len()
 	r.PMCCombinations = p.PMCs.TotalCombinations
-	r.IdentifyTime = time.Since(start)
+	r.IdentifyTime = span.End(obs.A("pmcs", r.DistinctPMCs))
 }
 
 // SetPMCs installs an externally identified PMC set.
@@ -92,9 +103,12 @@ func (p *Pipeline) SetPMCs(s *pmc.Set) { p.PMCs = s }
 // uncommon-first (or randomly), and draws one exemplar PMC — and one of its
 // test pairs — per cluster. Baselines draw random (or duplicate) pairs.
 func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
-	start := time.Now()
-	defer func() { r.ClusterTime += time.Since(start) }()
+	span := obs.StartSpan("stage.generate", obs.A("method", p.Opts.Method.Name))
 	var out []sched.ConcurrentTest
+	defer func() {
+		mGenTests.Add(int64(len(out)))
+		r.ClusterTime += span.End(obs.A("generated", len(out)))
+	}()
 	switch p.Opts.Method.Kind {
 	case MethodPMC:
 		cs := cluster.Clusters(p.PMCs, p.Opts.Method.Strategy)
@@ -145,7 +159,7 @@ func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
 // ExecuteTests explores each concurrent test (stage 4), folding findings
 // into the report.
 func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
-	start := time.Now()
+	span := obs.StartSpan("stage.exec", obs.A("tests", len(tests)), obs.A("trials", p.Opts.Trials))
 	mode := sched.ModeSnowboard
 	cov := cover.New()
 	x := &sched.Explorer{
@@ -205,9 +219,10 @@ func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
 				r.Unknown = append(r.Unknown, is)
 			}
 		}
+		mIssuesFound.Set(int64(len(r.Issues)))
 	}
 	r.CoverPairs += cov.Len()
-	r.ExecTime += time.Since(start)
+	r.ExecTime += span.End(obs.A("issues", len(r.Issues)))
 }
 
 // crashLevel reports whether the issue kind wedges or corrupts the kernel.
@@ -222,7 +237,7 @@ func crashLevel(k detect.IssueKind) bool {
 // Run executes the full pipeline.
 func Run(opts Options) (*Report, error) {
 	p := NewPipeline(opts)
-	r := &Report{Method: opts.Method.Name, Version: opts.Version, Issues: make(map[int]IssueRecord)}
+	r := p.NewReport()
 	p.BuildCorpus(r)
 	if err := p.ProfileAll(r); err != nil {
 		return nil, err
@@ -230,6 +245,7 @@ func Run(opts Options) (*Report, error) {
 	p.IdentifyPMCs(r)
 	tests := p.GenerateTests(r, opts.TestBudget)
 	p.ExecuteTests(r, tests)
+	r.CaptureMetrics()
 	return r, nil
 }
 

@@ -1,7 +1,14 @@
 package detect
 
 import (
+	"snowboard/internal/obs"
 	"snowboard/internal/trace"
+)
+
+// Oracle metrics: raw finding counts across all trials, process-wide.
+var (
+	mReports = obs.C(obs.MDetectReports)
+	mHarmful = obs.C(obs.MDetectHarmful)
 )
 
 // RaceMode selects the data race analysis.
@@ -87,6 +94,12 @@ func Analyze(in TrialInput, opt Options) []Issue {
 	}
 	if in.Hung {
 		add(Issue{Kind: KindHang, Desc: "hang: step budget exhausted"})
+	}
+	mReports.Add(int64(len(out)))
+	for _, is := range out {
+		if is.Harmful {
+			mHarmful.Inc()
+		}
 	}
 	return out
 }

@@ -12,8 +12,19 @@ import (
 
 	"snowboard/internal/corpus"
 	"snowboard/internal/kernel"
+	"snowboard/internal/obs"
 	"snowboard/internal/trace"
 	"snowboard/internal/vm"
+)
+
+// Execution metrics: one bump per VM run, aggregated step counts — cheap
+// enough to stay on even in the profiling hot loop.
+var (
+	mRuns          = obs.C(obs.MExecRuns)
+	mCrashes       = obs.C(obs.MExecCrashes)
+	mSteps         = obs.C(obs.MExecSteps)
+	mProfileTests  = obs.C(obs.MProfileTests)
+	mProfileAccess = obs.C(obs.MProfileAccess)
 )
 
 // DefaultMaxSteps bounds one execution; hitting it is treated as a hang.
@@ -124,6 +135,11 @@ func (e *Env) finish(err error, retsPerThread [][]int64) Result {
 		Faults: append([]string(nil), e.M.Faults()...),
 		Steps:  e.M.Steps(),
 	}
+	mRuns.Inc()
+	mSteps.Add(int64(r.Steps))
+	if r.Crashed() {
+		mCrashes.Inc()
+	}
 	switch {
 	case errors.Is(err, vm.ErrStepLimit):
 		r.Hung = true
@@ -185,5 +201,7 @@ func (e *Env) Profile(prog *corpus.Prog) (accs []trace.Access, df map[int]bool, 
 	accs = trace.DefaultFilter(0).Apply(&tr)
 	df = trace.MarkDoubleFetches(accs)
 	e.M.SetTrace(nil)
+	mProfileTests.Inc()
+	mProfileAccess.Add(int64(len(accs)))
 	return accs, df, res
 }

@@ -3,7 +3,17 @@ package fuzz
 import (
 	"snowboard/internal/corpus"
 	"snowboard/internal/exec"
+	"snowboard/internal/obs"
 	"snowboard/internal/trace"
+)
+
+// Campaign metrics (process-wide registry, resolved once).
+var (
+	mExecs    = obs.C(obs.MFuzzExecs)
+	mCrashes  = obs.C(obs.MFuzzCrashes)
+	mSelected = obs.C(obs.MFuzzSelected)
+	mCorpus   = obs.G(obs.MFuzzCorpus)
+	mEdges    = obs.G(obs.MFuzzEdges)
 )
 
 // CampaignResult is the outcome of a fuzzing campaign: the selected corpus
@@ -36,17 +46,21 @@ func Campaign(env *exec.Env, seed int64, budget, maxKeep int) CampaignResult {
 			p = g.Generate()
 		}
 		out.Executed++
+		mExecs.Inc()
 		res := env.RunSequential(p, &tr)
 		env.M.SetTrace(nil)
 		if res.Crashed() || res.Hung || res.Deadlock {
 			// A sequential test should not crash the kernel; such programs
 			// are discarded (and would be reported as sequential bugs).
 			out.Crashes++
+			mCrashes.Inc()
 			continue
 		}
 		if n := cov.Merge(EdgesOf(&tr)); n > 0 {
 			if out.Corpus.Add(p) {
 				out.Selected++
+				mSelected.Inc()
+				mCorpus.Set(int64(out.Corpus.Len()))
 			}
 		}
 		if maxKeep > 0 && out.Corpus.Len() >= maxKeep {
@@ -54,5 +68,6 @@ func Campaign(env *exec.Env, seed int64, budget, maxKeep int) CampaignResult {
 		}
 	}
 	out.EdgeCount = cov.Len()
+	mEdges.Set(int64(out.EdgeCount))
 	return out
 }

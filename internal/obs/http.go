@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the expvar registration (expvar panics on duplicates).
+var publishOnce sync.Once
+
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("snowboard", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+}
+
+// Handler returns the introspection mux over the Default registry:
+//
+//	/metrics       Prometheus text exposition
+//	/progress      JSON Progress snapshot
+//	/debug/vars    expvar (includes the full registry under "snowboard")
+//	/debug/pprof/  runtime profiling
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ProgressNow())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "snowboard introspection\n\n/metrics\n/progress\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running introspection HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartHTTP serves the introspection handler on addr (e.g. ":0" or
+// "127.0.0.1:8080") and returns immediately; the bound address is available
+// via Addr.
+func StartHTTP(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

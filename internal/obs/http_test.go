@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	// The handler serves the Default registry; bump a few process-wide
+	// metrics so the exposition has something real in it.
+	C(MExecTests).Inc()
+	G(MFuzzCorpus).Set(3)
+	H("stage.exec.duration_ns").Observe(1000)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{"snowboard_exec_tests", "snowboard_fuzz_corpus_size", "snowboard_stage_exec_duration_ns_bucket"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status = %d", code)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress is not JSON: %v (%q)", err, body)
+	}
+	if p.TestsExecuted < 1 || p.CorpusSize != 3 {
+		t.Errorf("/progress = %+v, want tests_executed >= 1 and corpus_size 3", p)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["snowboard"]; !ok {
+		t.Error("/debug/vars missing the \"snowboard\" registry export")
+	}
+
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+	if code, _ = get("/"); code != http.StatusOK {
+		t.Errorf("/ status = %d", code)
+	}
+	if code, _ = get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope status = %d, want 404", code)
+	}
+}
+
+func TestStartHTTP(t *testing.T) {
+	s, err := StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var p Progress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+}

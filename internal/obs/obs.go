@@ -1,0 +1,464 @@
+// Package obs is the observability layer for the Snowboard pipeline: a
+// process-wide metrics registry of lock-free counters, gauges, and
+// log-scale histograms, a lightweight stage/span tracer emitting a JSONL
+// event log, a live introspection HTTP server (Prometheus text, expvar,
+// pprof, and a /progress JSON snapshot), and a stderr diagnostics logger
+// with a periodic one-line progress report.
+//
+// The paper's evaluation (§5.4) is built on operational numbers — tests
+// profiled per second, generated tests/s, exec/min, interleavings per
+// exposed bug — and this package is where those numbers come from: every
+// pipeline stage bumps the registry, and reports are views over it.
+//
+// Counters and gauges are single atomic words; bumping one from the
+// VM/scheduler hot path costs a few nanoseconds and never allocates (see
+// BenchmarkCounterInc). The whole layer can be switched off with
+// SetEnabled(false), which turns every bump into a checked no-op — used by
+// BenchmarkObsOverhead to bound the instrumentation cost.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Well-known metric names. Instrumented packages resolve their handles once
+// at init, so the hot path is a plain atomic add; these constants exist so
+// readers of /metrics, /progress, and the code agree on spelling.
+const (
+	// Stage 1: sequential fuzzing and profiling.
+	MFuzzExecs     = "fuzz.execs"       // counter: sequential executions in the campaign
+	MFuzzCrashes   = "fuzz.crashes"     // counter: discarded crashing sequential tests
+	MFuzzSelected  = "fuzz.selected"    // counter: tests kept for new coverage
+	MFuzzCorpus    = "fuzz.corpus_size" // gauge: current corpus size
+	MFuzzEdges     = "fuzz.edges"       // gauge: distinct coverage edges
+	MProfileTests  = "profile.tests"    // counter: sequential tests profiled
+	MProfileAccess = "profile.accesses" // counter: shared accesses recorded
+
+	// Stage 2: PMC identification.
+	MPMCIdentified   = "pmc.identified"   // gauge: distinct PMC keys in the last identified set
+	MPMCCombinations = "pmc.combinations" // gauge: uncapped (PMC, writer, reader) combinations
+
+	// Stage 3/4: generation and concurrent execution.
+	MGenTests        = "gen.tests"               // counter: concurrent tests generated
+	MExecTests       = "exec.tests"              // counter: concurrent tests explored
+	MExecRuns        = "exec.runs"               // counter: VM executions (sequential + pair + many)
+	MExecCrashes     = "exec.crashes"            // counter: executions that crashed the kernel
+	MExecSteps       = "exec.steps"              // counter: VM events processed
+	MSchedTrials     = "sched.trials"            // counter: interleaving trials run
+	MSchedSwitches   = "sched.switches"          // counter: induced preemptions
+	MSchedChannelHit = "sched.channel_hits"      // counter: hinted tests whose channel occurred
+	MSchedIncidental = "sched.incidental_adopts" // counter: incidental PMCs adopted (Alg. 2 l.26–27)
+
+	// Oracles.
+	MDetectReports = "detect.reports"      // counter: raw oracle findings (incl. re-observations)
+	MDetectHarmful = "detect.harmful"      // counter: harmful findings
+	MIssuesFound   = "detect.issues_found" // gauge: distinct issues in the current run's report
+
+	// Distributed queue.
+	MQueuePush       = "queue.push"             // counter: jobs enqueued
+	MQueuePop        = "queue.pop"              // counter: jobs dequeued
+	MQueueReport     = "queue.report"           // counter: results recorded
+	MQueueDepth      = "queue.depth"            // gauge: jobs waiting
+	MQueueNetConns   = "queue.net.conns"        // counter: TCP connections accepted
+	MQueueNetInFl    = "queue.net.inflight"     // gauge: connections currently served
+	MQueueNetBadReq  = "queue.net.bad_requests" // counter: malformed/unknown requests answered
+	MQueueNetPop     = "queue.net.pop"          // counter: pop ops served
+	MQueueNetPush    = "queue.net.push"         // counter: push ops served
+	MQueueNetReport  = "queue.net.report"       // counter: report ops served
+	MQueueNetUnknown = "queue.net.unknown_op"   // counter: unknown ops answered
+)
+
+// enabled gates every bump and span; on by default.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled switches the whole layer on or off. Disabled, every counter
+// bump, gauge store, histogram observation, and span becomes a checked
+// no-op; the registry keeps its contents.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the layer is active.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n (useful for in-flight tracking).
+func (g *Gauge) Add(n int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of log2 histogram buckets: bucket 0 holds the
+// value 0 (and negatives, clamped), bucket i≥1 holds values in
+// [2^(i-1), 2^i), i.e. upper bound 2^i-1.
+const histBuckets = 64
+
+// Histogram is a log-scale (power-of-two bucket) histogram of int64
+// observations, typically duration nanoseconds. All fields are atomics, so
+// Observe is lock-free and allocation-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call NewRegistry. The process-wide instance is Default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	start    time.Time
+}
+
+// NewRegistry returns an empty registry anchored at the current time
+// (uptime in snapshots is measured from here).
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		start:    time.Now(),
+	}
+}
+
+// Default is the process-wide registry every package-level metric lives in
+// and the introspection server exposes.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every metric in place. Handles obtained earlier stay valid
+// (they are the same objects); intended for tests and benchmarks.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.count.Store(0)
+		h.sum.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+	r.start = time.Now()
+}
+
+// C returns a counter from the Default registry.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns a gauge from the Default registry.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// H returns a histogram from the Default registry.
+func H(name string) *Histogram { return Default.Histogram(name) }
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets,omitempty"` // log2 buckets, trailing zeros trimmed
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time view of a registry, safe to serialize.
+// Individual values are loaded atomically; the set as a whole is gathered
+// while bumps may be in flight, so cross-metric invariants are approximate
+// during a live run and exact once the producers have stopped.
+type Snapshot struct {
+	TakenAt    time.Time                    `json:"taken_at"`
+	UptimeSec  float64                      `json:"uptime_sec"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	s := Snapshot{
+		TakenAt:    now,
+		UptimeSec:  now.Sub(r.start).Seconds(),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v.Load()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+		top := -1
+		var buckets [histBuckets]int64
+		for i := range h.buckets {
+			buckets[i] = h.buckets[i].Load()
+			if buckets[i] != 0 {
+				top = i
+			}
+		}
+		if top >= 0 {
+			hs.Buckets = append([]int64(nil), buckets[:top+1]...)
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Counter returns a counter value from the snapshot (0 if absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a gauge value from the snapshot (0 if absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Histogram returns a histogram from the snapshot (zero value if absent).
+func (s Snapshot) Histogram(name string) HistogramSnapshot { return s.Histograms[name] }
+
+// Sub returns the per-metric difference s - prev: counters and histogram
+// counts/sums subtract; gauges keep s's instantaneous values. Use it to
+// scope a shared registry to one pipeline run.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		TakenAt:    s.TakenAt,
+		UptimeSec:  s.UptimeSec - prev.UptimeSec,
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		d := HistogramSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum}
+		if len(h.Buckets) > 0 {
+			d.Buckets = make([]int64, len(h.Buckets))
+			copy(d.Buckets, h.Buckets)
+			for i := 0; i < len(p.Buckets) && i < len(d.Buckets); i++ {
+				d.Buckets[i] -= p.Buckets[i]
+			}
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// promName maps an internal dotted metric name to a valid Prometheus
+// identifier: snowboard_ prefix, invalid runes replaced with '_'.
+func promName(name string) string {
+	b := []byte("snowboard_" + name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (counters, gauges, and classic cumulative-bucket histograms),
+// sorted by name for stable output.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, n := range h.Buckets {
+			cum += n
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

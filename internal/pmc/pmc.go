@@ -9,6 +9,7 @@ package pmc
 import (
 	"fmt"
 
+	"snowboard/internal/obs"
 	"snowboard/internal/trace"
 )
 
@@ -159,5 +160,7 @@ func Identify(profiles []Profile, opt Options) *Set {
 			})
 		}
 	}
+	obs.G(obs.MPMCIdentified).Set(int64(set.Len()))
+	obs.G(obs.MPMCCombinations).Set(set.TotalCombinations)
 	return set
 }

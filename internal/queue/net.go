@@ -6,6 +6,20 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"snowboard/internal/obs"
+)
+
+// TCP transport metrics: connections accepted / currently served, per-op
+// counters, and malformed-request counts.
+var (
+	mNetConns    = obs.C(obs.MQueueNetConns)
+	mNetInFlight = obs.G(obs.MQueueNetInFl)
+	mNetBadReq   = obs.C(obs.MQueueNetBadReq)
+	mNetPop      = obs.C(obs.MQueueNetPop)
+	mNetPush     = obs.C(obs.MQueueNetPush)
+	mNetReport   = obs.C(obs.MQueueNetReport)
+	mNetUnknown  = obs.C(obs.MQueueNetUnknown)
 )
 
 // TCP transport: a Server fronts a Queue with a line-delimited JSON
@@ -71,20 +85,31 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	mNetConns.Inc()
+	mNetInFlight.Add(1)
+	defer mNetInFlight.Add(-1)
 	r := bufio.NewReader(conn)
 	enc := json.NewEncoder(conn)
 	for {
-		line, err := r.ReadBytes('\n')
-		if err != nil {
+		line, readErr := r.ReadBytes('\n')
+		if len(line) == 0 {
+			// Connection drained (EOF) or failed with nothing pending.
 			return
 		}
 		var req wireReq
 		if err := json.Unmarshal(line, &req); err != nil {
-			_ = enc.Encode(wireResp{OK: false, Err: "bad request"})
+			// Malformed requests get an explicit error response on the
+			// still-open connection rather than a silent drop.
+			mNetBadReq.Inc()
+			_ = enc.Encode(wireResp{OK: false, Err: fmt.Sprintf("bad request: %v", err)})
+			if readErr != nil {
+				return
+			}
 			continue
 		}
 		switch req.Op {
 		case "pop":
+			mNetPop.Inc()
 			job, err := s.Q.TryPop()
 			if err != nil {
 				_ = enc.Encode(wireResp{OK: false, Err: err.Error()})
@@ -97,6 +122,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			_ = enc.Encode(wireResp{OK: true, Job: raw})
 		case "push":
+			mNetPush.Inc()
 			job, err := DecodeJob(req.Job)
 			if err != nil {
 				_ = enc.Encode(wireResp{OK: false, Err: err.Error()})
@@ -108,6 +134,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			_ = enc.Encode(wireResp{OK: true})
 		case "report":
+			mNetReport.Inc()
 			if req.Result == nil {
 				_ = enc.Encode(wireResp{OK: false, Err: "missing result"})
 				continue
@@ -118,7 +145,8 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			_ = enc.Encode(wireResp{OK: true})
 		default:
-			_ = enc.Encode(wireResp{OK: false, Err: "unknown op"})
+			mNetUnknown.Inc()
+			_ = enc.Encode(wireResp{OK: false, Err: fmt.Sprintf("unknown op %q", req.Op)})
 		}
 	}
 }

@@ -1,0 +1,137 @@
+package queue
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+
+	"snowboard/internal/obs"
+)
+
+// rawDial opens a plain TCP connection so tests can send protocol-violating
+// bytes the Client type would never produce. The caller must close the
+// connection before the server: Server.Close waits for in-flight handlers.
+func rawDial(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, bufio.NewReader(conn)
+}
+
+func readResp(t *testing.T, r *bufio.Reader) wireResp {
+	t.Helper()
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	var resp wireResp
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("decode response %q: %v", line, err)
+	}
+	return resp
+}
+
+func TestTCPBadRequest(t *testing.T) {
+	q := New()
+	srv, err := Serve(q, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	badBefore := obs.C(obs.MQueueNetBadReq).Value()
+	conn, r := rawDial(t, srv.Addr())
+	defer conn.Close()
+
+	// Malformed JSON must get an explicit error, not a silent drop.
+	if _, err := conn.Write([]byte("{not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp := readResp(t, r)
+	if resp.OK || !strings.HasPrefix(resp.Err, "bad request:") {
+		t.Fatalf("bad request response = %+v", resp)
+	}
+	if got := obs.C(obs.MQueueNetBadReq).Value(); got != badBefore+1 {
+		t.Fatalf("bad_requests = %d, want %d", got, badBefore+1)
+	}
+
+	// The connection stays usable: a valid request afterwards still works.
+	if _, err := conn.Write([]byte(`{"op":"pop"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp = readResp(t, r)
+	if resp.OK || resp.Err != ErrEmpty.Error() {
+		t.Fatalf("pop after bad request = %+v, want err %q", resp, ErrEmpty)
+	}
+
+	// Unknown ops get their own explicit error.
+	if _, err := conn.Write([]byte(`{"op":"flush"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp = readResp(t, r)
+	if resp.OK || !strings.Contains(resp.Err, `unknown op "flush"`) {
+		t.Fatalf("unknown op response = %+v", resp)
+	}
+}
+
+func TestTCPOpCounters(t *testing.T) {
+	q := New()
+	srv, err := Serve(q, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pushBefore := obs.C(obs.MQueueNetPush).Value()
+	popBefore := obs.C(obs.MQueueNetPop).Value()
+	reportBefore := obs.C(obs.MQueueNetReport).Value()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Push(testJob(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(JobResult{JobID: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := obs.C(obs.MQueueNetPush).Value(); got != pushBefore+1 {
+		t.Errorf("net push counter = %d, want %d", got, pushBefore+1)
+	}
+	if got := obs.C(obs.MQueueNetPop).Value(); got != popBefore+1 {
+		t.Errorf("net pop counter = %d, want %d", got, popBefore+1)
+	}
+	if got := obs.C(obs.MQueueNetReport).Value(); got != reportBefore+1 {
+		t.Errorf("net report counter = %d, want %d", got, reportBefore+1)
+	}
+}
+
+func TestQueueDepthGauge(t *testing.T) {
+	q := New()
+	depth := obs.G(obs.MQueueDepth)
+	for i := 0; i < 3; i++ {
+		if err := q.Push(testJob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := depth.Value(); got != 3 {
+		t.Fatalf("depth after pushes = %d, want 3", got)
+	}
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := depth.Value(); got != 2 {
+		t.Fatalf("depth after pop = %d, want 2", got)
+	}
+}

@@ -11,7 +11,17 @@ import (
 	"sync"
 
 	"snowboard/internal/corpus"
+	"snowboard/internal/obs"
 	"snowboard/internal/pmc"
+)
+
+// Queue metrics: per-op counters plus the current depth, shared by every
+// queue in the process.
+var (
+	mPush   = obs.C(obs.MQueuePush)
+	mPop    = obs.C(obs.MQueuePop)
+	mReport = obs.C(obs.MQueueReport)
+	mDepth  = obs.G(obs.MQueueDepth)
 )
 
 // Job is one unit of exploration work: a serialized concurrent test.
@@ -64,6 +74,8 @@ func (q *Queue) Push(j Job) error {
 		return ErrClosed
 	}
 	q.jobs = append(q.jobs, j)
+	mPush.Inc()
+	mDepth.Set(int64(len(q.jobs)))
 	q.cond.Signal()
 	return nil
 }
@@ -81,6 +93,8 @@ func (q *Queue) Pop() (Job, error) {
 	}
 	j := q.jobs[0]
 	q.jobs = q.jobs[1:]
+	mPop.Inc()
+	mDepth.Set(int64(len(q.jobs)))
 	return j, nil
 }
 
@@ -96,6 +110,8 @@ func (q *Queue) TryPop() (Job, error) {
 	}
 	j := q.jobs[0]
 	q.jobs = q.jobs[1:]
+	mPop.Inc()
+	mDepth.Set(int64(len(q.jobs)))
 	return j, nil
 }
 
@@ -107,6 +123,7 @@ func (q *Queue) Report(r JobResult) error {
 		return ErrClosed
 	}
 	q.results = append(q.results, r)
+	mReport.Inc()
 	return nil
 }
 

@@ -8,8 +8,19 @@ import (
 	"snowboard/internal/cover"
 	"snowboard/internal/detect"
 	"snowboard/internal/exec"
+	"snowboard/internal/obs"
 	"snowboard/internal/pmc"
 	"snowboard/internal/trace"
+)
+
+// Exploration metrics, bumped once per concurrent test / trial — the
+// scheduler hot path itself (per-access decisions) stays untouched.
+var (
+	mTests      = obs.C(obs.MExecTests)
+	mTrials     = obs.C(obs.MSchedTrials)
+	mSwitches   = obs.C(obs.MSchedSwitches)
+	mChannelHit = obs.C(obs.MSchedChannelHit)
+	mIncidental = obs.C(obs.MSchedIncidental)
 )
 
 // ConcurrentTest is a Snowboard concurrent test: two sequential tests plus
@@ -116,6 +127,12 @@ func (o *Outcome) Found() bool { return len(o.Issues) > 0 }
 // adopted into the set under test.
 func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 	out := Outcome{ExercisedTrial: -1, ExposedTrial: -1, IssueTrial: make(map[string]int)}
+	mTests.Inc()
+	span := obs.StartSpan("exec.test", obs.A("mode", x.Mode.String()), obs.A("hinted", ct.Hint != nil))
+	defer func() {
+		span.End(obs.A("trials", out.Trials), obs.A("exercised", out.Exercised),
+			obs.A("issues", len(out.Issues)))
+	}()
 	trials := x.Trials
 	if trials <= 0 {
 		trials = 64
@@ -164,6 +181,8 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 		out.Trials = trial + 1
 		out.Switches += switches
 		out.Steps += res.Steps
+		mTrials.Inc()
+		mSwitches.Add(int64(switches))
 		if x.Coverage != nil {
 			out.NewCoverPairs += x.Coverage.AddTrace(&tr)
 		}
@@ -172,6 +191,7 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 		if ct.Hint != nil && !out.Exercised && ChannelExercised(&tr, ct.Hint) {
 			out.Exercised = true
 			out.ExercisedTrial = trial
+			mChannelHit.Inc()
 		}
 
 		in := detect.TrialInput{
@@ -219,6 +239,7 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 		if !x.DisableIncidental && x.Mode == ModeSnowboard && len(currentPMCs) < maxCurrentPMCs {
 			if inc, ok := x.findIncidental(&tr, currentPMCs, rng); ok {
 				currentPMCs = append(currentPMCs, inc)
+				mIncidental.Inc()
 			}
 		}
 	}

@@ -39,6 +39,7 @@ import (
 	"snowboard/internal/exec"
 	"snowboard/internal/fuzz"
 	"snowboard/internal/kernel"
+	"snowboard/internal/obs"
 	"snowboard/internal/pmc"
 	"snowboard/internal/queue"
 	"snowboard/internal/sched"
@@ -146,6 +147,33 @@ type (
 	// JobResult carries a worker's findings back.
 	JobResult = queue.JobResult
 )
+
+// Observability (internal/obs): the process-wide metrics registry every
+// pipeline stage reports into, plus the live introspection server.
+type (
+	// ObsSnapshot is a point-in-time view of the metrics registry
+	// (counters, gauges, log-scale histograms).
+	ObsSnapshot = obs.Snapshot
+	// ObsProgress is the live campaign summary served at /progress.
+	ObsProgress = obs.Progress
+	// ObsServer is a running introspection HTTP server.
+	ObsServer = obs.Server
+)
+
+// SnapshotMetrics freezes the process-wide metrics registry: every
+// counter, gauge, and stage-duration histogram the pipeline has bumped so
+// far. Subtract two snapshots (Snapshot.Sub) to scope the registry to one
+// run.
+func SnapshotMetrics() ObsSnapshot { return obs.Default.Snapshot() }
+
+// ObsProgressNow derives the live campaign progress summary (corpus size,
+// PMCs, tests executed/exercised, issues found, exec/min) from the
+// registry.
+func ObsProgressNow() ObsProgress { return obs.ProgressNow() }
+
+// StartObsServer serves live introspection on addr: /metrics (Prometheus
+// text), /progress (JSON), /debug/vars (expvar), and /debug/pprof/.
+func StartObsServer(addr string) (*ObsServer, error) { return obs.StartHTTP(addr) }
 
 // Exploration modes for the Explorer.
 const (
