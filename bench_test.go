@@ -376,6 +376,39 @@ func BenchmarkInterleavingsToExpose(b *testing.B) {
 	}
 }
 
+// --- Parallel sharded execution (internal/par) ---
+
+// BenchmarkPipelineParallel measures the sharded profiling stage — the
+// pipeline's dominant per-unit cost — at several worker counts over the
+// same corpus. Results are identical at every width (the determinism
+// golden test checks that); this benchmark records what the width buys in
+// wall-clock. BENCH_par.json and the EXPERIMENTS.md speedup table come
+// from this benchmark; speedup tracks the host's core count, so a
+// single-vCPU host times all widths alike.
+func BenchmarkPipelineParallel(b *testing.B) {
+	shared := analysisFor(b, snowboard.V5_12_RC3, 600, 150)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := shared.pipe.Opts
+			opts.Workers = workers
+			p := snowboard.NewPipeline(opts)
+			p.SetCorpus(shared.pipe.Corpus)
+			// The first call boots the per-worker environment clones;
+			// keep that one-time cost out of the timed region.
+			if err := p.ProfileAll(p.NewReport()); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.ProfileAll(p.NewReport()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(shared.pipe.Corpus.Len())*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §"Key design decisions") ---
 
 // BenchmarkAblationValueFilter measures how many PMCs Algorithm 1 emits

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	sbexec -addr 127.0.0.1:7070 [-version 5.12-rc3] [-trials 64]
-//	       [-name worker-1] [-idle-exit 5s] [-http :0] [-progress 10s]
+//	       [-workers 0] [-name worker-1] [-idle-exit 5s] [-http :0]
+//	       [-progress 10s]
+//
+// With -workers N the process runs N explorer goroutines against one
+// shared queue connection, each with its own simulated-kernel environment.
+// Per-job seeds derive from the job ID alone, so findings are identical no
+// matter how jobs land on workers.
 //
 // All worker chatter goes to stderr; with -http, the worker's own metrics
 // (exec.tests, sched.trials, channel hits, …) are served live.
@@ -17,11 +23,14 @@ import (
 	"flag"
 	"log"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"snowboard"
 	"snowboard/internal/detect"
 	"snowboard/internal/obs"
+	"snowboard/internal/par"
 	"snowboard/internal/queue"
 	"snowboard/internal/sched"
 )
@@ -31,6 +40,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7070", "queue coordinator address")
 		version  = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version")
 		trials   = flag.Int("trials", 64, "interleaving trials per test")
+		workers  = flag.Int("workers", 0, "explorer goroutines in this process (0 = one per CPU)")
 		name     = flag.String("name", hostDefault(), "worker name in reports")
 		idleExit = flag.Duration("idle-exit", 5*time.Second, "exit after this long with an empty queue")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
@@ -57,34 +67,51 @@ func main() {
 	}
 	defer client.Close()
 
-	env := snowboard.NewEnv(snowboard.Version(*version))
+	nw := par.Workers(*workers)
+	var jobs atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			workLoop(client, snowboard.Version(*version), *trials, *name, *idleExit, &jobs)
+		}()
+	}
+	wg.Wait()
+	diag.Printf("all %d explorer goroutines done, processed %d jobs", nw, jobs.Load())
+}
+
+// workLoop is one explorer goroutine: it owns a private simulated-kernel
+// environment and pops jobs from the shared (mutex-guarded) client until
+// the queue closes or stays empty past the idle deadline. Job seeds come
+// from the job ID, not the goroutine, so placement cannot change results.
+func workLoop(client *queue.Client, version snowboard.Version, trials int, name string, idleExit time.Duration, jobs *atomic.Int64) {
+	env := snowboard.NewEnv(version)
 	x := &snowboard.Explorer{
 		Env:    env,
-		Trials: *trials,
+		Trials: trials,
 		Mode:   snowboard.ModeSnowboard,
 		Detect: detect.DefaultOptions(),
 		Fsck:   func() []string { return env.K.FsckHost() },
 	}
 
-	jobs, idleSince := 0, time.Now()
+	idleSince := time.Now()
 	for {
 		job, err := client.Pop()
 		switch {
 		case errors.Is(err, queue.ErrEmpty):
-			if time.Since(idleSince) > *idleExit {
-				diag.Printf("queue idle, processed %d jobs, exiting", jobs)
+			if time.Since(idleSince) > idleExit {
 				return
 			}
 			time.Sleep(100 * time.Millisecond)
 			continue
 		case errors.Is(err, queue.ErrClosed):
-			diag.Printf("queue closed, processed %d jobs", jobs)
 			return
 		case err != nil:
 			log.Fatal(err)
 		}
 		idleSince = time.Now()
-		jobs++
+		jobs.Add(1)
 
 		x.Seed = int64(job.ID)*1009 + 1
 		out := x.Explore(sched.ConcurrentTest{
@@ -94,7 +121,7 @@ func main() {
 			JobID:     job.ID,
 			Trials:    out.Trials,
 			Exercised: out.Exercised,
-			Worker:    *name,
+			Worker:    name,
 		}
 		for _, is := range out.Issues {
 			res.IssueIDs = append(res.IssueIDs, is.ID())

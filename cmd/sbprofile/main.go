@@ -7,7 +7,7 @@
 // Usage:
 //
 //	sbprofile [-version 5.12-rc3] [-seed 1] [-fuzz 400] [-corpus 120]
-//	          [-top 10] [-dump-tests] [-http :0] [-progress 10s]
+//	          [-workers 0] [-top 10] [-dump-tests] [-http :0] [-progress 10s]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		fuzzN    = flag.Int("fuzz", 400, "sequential fuzzing executions")
 		corpusN  = flag.Int("corpus", 120, "corpus size cap")
+		workers  = flag.Int("workers", 0, "parallel worker goroutines per stage (0 = one per CPU)")
 		top      = flag.Int("top", 10, "hottest channels to print")
 		dump     = flag.Bool("dump-tests", false, "print every corpus program")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
@@ -52,6 +53,7 @@ func main() {
 	opts.Seed = *seed
 	opts.FuzzBudget = *fuzzN
 	opts.CorpusCap = *corpusN
+	opts.Workers = *workers
 
 	p := snowboard.NewPipeline(opts)
 	r := p.NewReport()

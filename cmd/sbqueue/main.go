@@ -6,8 +6,8 @@
 // Usage:
 //
 //	sbqueue [-addr 127.0.0.1:7070] [-version 5.12-rc3] [-method S-INS-PAIR]
-//	        [-seed 1] [-fuzz 400] [-corpus 120] [-tests 200] [-wait 30s]
-//	        [-http :8080] [-progress 10s]
+//	        [-seed 1] [-fuzz 400] [-corpus 120] [-tests 200] [-workers 0]
+//	        [-wait 30s] [-http :8080] [-progress 10s]
 //
 // Operational chatter goes to stderr; only the final summary is written to
 // stdout. With -http, the live introspection server exposes the queue's
@@ -36,6 +36,7 @@ func main() {
 		fuzzN    = flag.Int("fuzz", 400, "sequential fuzzing executions")
 		corpusN  = flag.Int("corpus", 120, "corpus size cap")
 		tests    = flag.Int("tests", 200, "concurrent tests to enqueue")
+		workers  = flag.Int("workers", 0, "parallel worker goroutines for the local stages (0 = one per CPU)")
 		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for workers after the queue drains")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
 		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
@@ -60,6 +61,7 @@ func main() {
 	opts.Seed = *seed
 	opts.FuzzBudget = *fuzzN
 	opts.CorpusCap = *corpusN
+	opts.Workers = *workers
 	m, ok := snowboard.MethodByName(*method)
 	if !ok {
 		log.Fatalf("unknown method %q", *method)

@@ -1,12 +1,18 @@
-// Command sbrepro deterministically replays a saved reproduction bundle
-// (§6 "Bug Diagnosis and Deterministic Reproduction"): it boots the matching
-// simulated kernel, re-executes the recorded bug-exposing trial, and prints
-// the kernel console plus the two-column interleaving diagnosis around the
-// PMC.
+// Command sbrepro deterministically replays saved reproduction bundles
+// (§6 "Bug Diagnosis and Deterministic Reproduction"): for each bundle it
+// boots the matching simulated kernel, re-executes the recorded
+// bug-exposing trial, and prints the kernel console plus the two-column
+// interleaving diagnosis around the PMC.
 //
 // Usage:
 //
 //	sbrepro -bundle finding.json [-quiet]
+//	sbrepro [-workers 0] [-quiet] finding1.json finding2.json ...
+//
+// Several bundles replay in parallel (one simulated kernel per worker)
+// but print in argument order; replay itself is deterministic, so the
+// output is byte-identical at any worker count. Exit status is 1 if any
+// replay surfaced no harmful finding (a stale bundle).
 //
 // Bundles are produced by cmd/snowboard's -repro-dir flag or by callers of
 // the library's Explore + SaveBundle.
@@ -17,36 +23,76 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"snowboard"
 	"snowboard/internal/detect"
 	"snowboard/internal/diagnose"
 	"snowboard/internal/obs"
+	"snowboard/internal/par"
 	"snowboard/internal/sched"
 	"snowboard/internal/trace"
 )
 
 func main() {
 	var (
-		path  = flag.String("bundle", "", "path to the reproduction bundle (JSON)")
-		quiet = flag.Bool("quiet", false, "suppress the interleaving diagram")
+		path    = flag.String("bundle", "", "path to a reproduction bundle (JSON); positional arguments add more")
+		workers = flag.Int("workers", 0, "parallel replay goroutines (0 = one per CPU); output order is unaffected")
+		quiet   = flag.Bool("quiet", false, "suppress the interleaving diagram")
 	)
 	flag.Parse()
 	obs.Diag.SetPrefix("sbrepro")
-	if *path == "" {
+
+	paths := flag.Args()
+	if *path != "" {
+		paths = append([]string{*path}, paths...)
+	}
+	if len(paths) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	b, err := sched.LoadBundle(*path)
+	type replayOut struct {
+		text  string
+		stale bool
+		err   error
+	}
+	outs := par.Map(par.Workers(*workers), len(paths), func(_, i int) replayOut {
+		var sb strings.Builder
+		stale, err := replayBundle(&sb, paths[i], *quiet)
+		return replayOut{text: sb.String(), stale: stale, err: err}
+	})
+
+	exit := 0
+	for i, out := range outs {
+		if i > 0 {
+			fmt.Println()
+		}
+		if out.err != nil {
+			log.Fatal(out.err)
+		}
+		fmt.Print(out.text)
+		if out.stale {
+			obs.Diag.Printf("warning: replay of %s surfaced no harmful finding — bundle may be stale", paths[i])
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// replayBundle loads and replays one bundle, rendering the full report
+// into w. It returns stale=true when the replay surfaced no harmful
+// finding — the recorded interleaving no longer exposes the bug.
+func replayBundle(w *strings.Builder, path string, quiet bool) (stale bool, err error) {
+	b, err := sched.LoadBundle(path)
 	if err != nil {
-		log.Fatal(err)
+		return false, err
 	}
-	fmt.Printf("replaying %s (kernel %s", *path, b.Version)
+	fmt.Fprintf(w, "replaying %s (kernel %s", path, b.Version)
 	if b.BugID != 0 {
-		fmt.Printf(", Table 2 issue #%d", b.BugID)
+		fmt.Fprintf(w, ", Table 2 issue #%d", b.BugID)
 	}
-	fmt.Println(")")
+	fmt.Fprintln(w, ")")
 
 	env := snowboard.NewEnv(b.Version)
 	var tr trace.Trace
@@ -61,24 +107,21 @@ func main() {
 		Deadlock: res.Deadlock,
 	}, detect.DefaultOptions())
 
-	fmt.Println("\nguest console:")
+	fmt.Fprintln(w, "\nguest console:")
 	for _, l := range res.Console {
-		fmt.Printf("  %s\n", l)
+		fmt.Fprintf(w, "  %s\n", l)
 	}
-	fmt.Println("\nfindings:")
+	fmt.Fprintln(w, "\nfindings:")
 	for _, is := range issues {
-		fmt.Printf("  [%s] %s", is.Kind, is.Desc)
+		fmt.Fprintf(w, "  [%s] %s", is.Kind, is.Desc)
 		if is.BugID != 0 {
-			fmt.Printf("  (Table 2 issue #%d)", is.BugID)
+			fmt.Fprintf(w, "  (Table 2 issue #%d)", is.BugID)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	if !*quiet {
-		fmt.Println()
-		fmt.Println(diagnose.Render(&tr, b.Hint, issues, diagnose.DefaultOptions()))
+	if !quiet {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, diagnose.Render(&tr, b.Hint, issues, diagnose.DefaultOptions()))
 	}
-	if !res.Crashed() && detect.Harmless(issues) {
-		obs.Diag.Printf("warning: replay surfaced no harmful finding — bundle may be stale")
-		os.Exit(1)
-	}
+	return !res.Crashed() && detect.Harmless(issues), nil
 }

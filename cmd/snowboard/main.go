@@ -7,8 +7,8 @@
 //
 //	snowboard [-mode full|compare] [-version 5.12-rc3] [-method S-INS-PAIR]
 //	          [-seed 1] [-fuzz 400] [-corpus 120] [-tests 60] [-trials 16]
-//	          [-json] [-http :8080] [-progress 10s] [-trace events.jsonl]
-//	          [-v]
+//	          [-workers 0] [-json] [-http :8080] [-progress 10s]
+//	          [-trace events.jsonl] [-v]
 //
 // With -mode compare (or the legacy -compare flag), every generation
 // method of the paper's Table 3 runs on the same profiled corpus and one
@@ -45,6 +45,7 @@ func main() {
 		corpusN  = flag.Int("corpus", 120, "corpus size cap")
 		tests    = flag.Int("tests", 60, "concurrent tests to execute")
 		trials   = flag.Int("trials", 16, "interleaving trials per concurrent test")
+		workers  = flag.Int("workers", 0, "parallel worker goroutines per stage (0 = one per CPU); results are identical for any value")
 		compare  = flag.Bool("compare", false, "legacy alias for -mode compare")
 		jsonOut  = flag.Bool("json", false, "emit the final report as JSON on stdout")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
@@ -71,6 +72,7 @@ func main() {
 	opts.CorpusCap = *corpusN
 	opts.TestBudget = *tests
 	opts.Trials = *trials
+	opts.Workers = *workers
 
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -84,6 +84,14 @@ type Options struct {
 
 	// DisableIncidental forwards to the explorer (ablation).
 	DisableIncidental bool
+
+	// Workers is the goroutine fan-out for every stage: fuzzing batches,
+	// per-test profiling, reader-sharded PMC identification, and
+	// concurrent-test exploration. 0 means one worker per CPU
+	// (GOMAXPROCS). Reports are bit-identical for any value — per-unit
+	// seeds are derived from (Seed, stage, unit index), never drawn from
+	// a shared rng.
+	Workers int
 }
 
 // DefaultOptions returns a laptop-scale configuration.
@@ -125,6 +133,7 @@ type IssueRecord struct {
 type Report struct {
 	Method  string
 	Version kernel.Version
+	Workers int // resolved worker count the run executed with
 
 	// Stage 1.
 	CorpusSize       int

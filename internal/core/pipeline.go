@@ -12,8 +12,10 @@ import (
 	"snowboard/internal/fuzz"
 	"snowboard/internal/kernel"
 	"snowboard/internal/obs"
+	"snowboard/internal/par"
 	"snowboard/internal/pmc"
 	"snowboard/internal/sched"
+	"snowboard/internal/trace"
 )
 
 // Pipeline-level metrics. Stage durations flow through obs spans (one
@@ -28,6 +30,11 @@ var (
 // (and benchmarks) can run stages individually, reuse a profiled corpus
 // across strategies — as the paper does when comparing the eleven methods
 // on the same machine-C profile — or run everything via Run.
+//
+// Every stage fans out across Options.Workers goroutines via internal/par.
+// There is deliberately no shared rand.Rand: randomized units derive their
+// seed from (Opts.Seed, stage, unit index) with par.UnitSeed, so reports
+// are bit-identical for any worker count.
 type Pipeline struct {
 	Opts Options
 	Env  *exec.Env
@@ -36,7 +43,15 @@ type Pipeline struct {
 	Profiles []pmc.Profile
 	PMCs     *pmc.Set
 
-	rng *rand.Rand
+	// envs are the per-worker environments: envs[0] is Env, the rest are
+	// clones sharing its boot snapshot, created lazily.
+	envs []*exec.Env
+
+	// genCalls counts GenerateTests invocations and exploreUnits counts
+	// concurrent tests executed, so repeated stage calls keep drawing
+	// fresh — but deterministic — seeds, like the old shared rng did.
+	genCalls     int
+	exploreUnits int
 }
 
 // NewPipeline boots the simulated kernel for the configured version.
@@ -47,14 +62,28 @@ func NewPipeline(opts Options) *Pipeline {
 	return &Pipeline{
 		Opts: opts,
 		Env:  exec.NewEnv(kernel.Config{Version: opts.Version}),
-		rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
 }
 
-// BuildCorpus runs the fuzzing campaign (stage 1a).
+// workerEnvs returns n per-worker environments, cloning from the boot
+// snapshot on first use. Clones persist across stages.
+func (p *Pipeline) workerEnvs(n int) []*exec.Env {
+	if len(p.envs) == 0 {
+		p.envs = append(p.envs, p.Env)
+	}
+	for len(p.envs) < n {
+		p.envs = append(p.envs, p.Env.Clone())
+	}
+	return p.envs[:n]
+}
+
+func (p *Pipeline) workers() int { return par.Workers(p.Opts.Workers) }
+
+// BuildCorpus runs the fuzzing campaign (stage 1a), sharded across the
+// worker environments.
 func (p *Pipeline) BuildCorpus(r *Report) {
-	span := obs.StartSpan("stage.fuzz", obs.A("budget", p.Opts.FuzzBudget))
-	res := fuzz.Campaign(p.Env, p.Opts.Seed, p.Opts.FuzzBudget, p.Opts.CorpusCap)
+	span := obs.StartSpan("stage.fuzz", obs.A("budget", p.Opts.FuzzBudget), obs.A("workers", p.workers()))
+	res := fuzz.CampaignSharded(p.workerEnvs(p.workers()), p.Opts.Seed, p.Opts.FuzzBudget, p.Opts.CorpusCap)
 	p.Corpus = res.Corpus
 	r.CorpusSize = p.Corpus.Len()
 	r.FuzzExecutions = res.Executed
@@ -66,18 +95,34 @@ func (p *Pipeline) BuildCorpus(r *Report) {
 func (p *Pipeline) SetCorpus(c *corpus.Corpus) { p.Corpus = c }
 
 // ProfileAll records the shared-memory access set of every corpus test
-// from the fixed snapshot (stage 1b).
+// from the fixed snapshot (stage 1b), one test per work unit across the
+// worker pool. Profiles land indexed by corpus position, so the result is
+// identical to the serial loop; if several tests crash, the lowest-indexed
+// one is reported, as serially.
 func (p *Pipeline) ProfileAll(r *Report) error {
-	span := obs.StartSpan("stage.profile", obs.A("tests", p.Corpus.Len()))
-	p.Profiles = p.Profiles[:0]
-	for i, prog := range p.Corpus.Progs {
-		accs, df, res := p.Env.Profile(prog)
+	span := obs.StartSpan("stage.profile", obs.A("tests", p.Corpus.Len()), obs.A("workers", p.workers()))
+	envs := p.workerEnvs(p.workers())
+	type profiled struct {
+		accs    []trace.Access
+		df      map[int]bool
+		crashed bool
+		faults  []string
+	}
+	units := par.Map(len(envs), p.Corpus.Len(), func(w, i int) profiled {
+		accs, df, res := envs[w].Profile(p.Corpus.Progs[i])
 		if res.Crashed() {
-			span.End(obs.A("crashed_test", i))
-			return fmt.Errorf("core: corpus test %d crashed during profiling: %v", i, res.Faults)
+			return profiled{crashed: true, faults: res.Faults}
 		}
-		p.Profiles = append(p.Profiles, pmc.Profile{TestID: i, Accesses: accs, DFLeader: df})
-		r.ProfiledAccesses += len(accs)
+		return profiled{accs: accs, df: df}
+	})
+	p.Profiles = p.Profiles[:0]
+	for i, u := range units {
+		if u.crashed {
+			span.End(obs.A("crashed_test", i))
+			return fmt.Errorf("core: corpus test %d crashed during profiling: %v", i, u.faults)
+		}
+		p.Profiles = append(p.Profiles, pmc.Profile{TestID: i, Accesses: u.accs, DFLeader: u.df})
+		r.ProfiledAccesses += len(u.accs)
 	}
 	r.ProfileTime = span.End(obs.A("accesses", r.ProfiledAccesses))
 	return nil
@@ -86,10 +131,11 @@ func (p *Pipeline) ProfileAll(r *Report) error {
 // SetProfiles installs externally computed profiles.
 func (p *Pipeline) SetProfiles(profiles []pmc.Profile) { p.Profiles = profiles }
 
-// IdentifyPMCs runs Algorithm 1 over the profiles (stage 2).
+// IdentifyPMCs runs Algorithm 1 over the profiles (stage 2), sharded by
+// reader profile.
 func (p *Pipeline) IdentifyPMCs(r *Report) {
 	span := obs.StartSpan("stage.identify", obs.A("profiles", len(p.Profiles)))
-	p.PMCs = pmc.Identify(p.Profiles, p.Opts.PMC)
+	p.PMCs = pmc.IdentifyParallel(p.Profiles, p.Opts.PMC, p.workers())
 	r.DistinctPMCs = p.PMCs.Len()
 	r.PMCCombinations = p.PMCs.TotalCombinations
 	r.IdentifyTime = span.End(obs.A("pmcs", r.DistinctPMCs))
@@ -102,8 +148,12 @@ func (p *Pipeline) SetPMCs(s *pmc.Set) { p.PMCs = s }
 // configured method (stage 3). For PMC methods it clusters, orders
 // uncommon-first (or randomly), and draws one exemplar PMC — and one of its
 // test pairs — per cluster. Baselines draw random (or duplicate) pairs.
+// Generation is cheap and stays serial; its rng seed derives from the
+// invocation index, so repeated calls draw fresh deterministic streams.
 func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
 	span := obs.StartSpan("stage.generate", obs.A("method", p.Opts.Method.Name))
+	rng := rand.New(rand.NewSource(par.UnitSeed(p.Opts.Seed, par.StageGenerate, p.genCalls)))
+	p.genCalls++
 	var out []sched.ConcurrentTest
 	defer func() {
 		mGenTests.Add(int64(len(out)))
@@ -112,18 +162,18 @@ func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
 	switch p.Opts.Method.Kind {
 	case MethodPMC:
 		cs := cluster.Clusters(p.PMCs, p.Opts.Method.Strategy)
-		cluster.OrderClusters(cs, p.Opts.Method.Order, p.rng)
+		cluster.OrderClusters(cs, p.Opts.Method.Order, rng)
 		r.ExemplarPMCs = len(cs)
 		for i := range cs {
 			if len(out) >= budget {
 				break
 			}
-			ex := cluster.Exemplar(&cs[i], p.rng)
+			ex := cluster.Exemplar(&cs[i], rng)
 			entry := p.PMCs.Entries[ex]
 			if entry == nil || len(entry.Pairs) == 0 {
 				continue
 			}
-			pair := entry.Pairs[p.rng.Intn(len(entry.Pairs))]
+			pair := entry.Pairs[rng.Intn(len(entry.Pairs))]
 			hint := entry.PMC
 			out = append(out, sched.ConcurrentTest{
 				Writer: p.Corpus.Progs[pair.Writer],
@@ -134,8 +184,8 @@ func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
 		}
 	case MethodRandomPairing:
 		for len(out) < budget {
-			w := p.rng.Intn(p.Corpus.Len())
-			rd := p.rng.Intn(p.Corpus.Len())
+			w := rng.Intn(p.Corpus.Len())
+			rd := rng.Intn(p.Corpus.Len())
 			out = append(out, sched.ConcurrentTest{
 				Writer: p.Corpus.Progs[w],
 				Reader: p.Corpus.Progs[rd],
@@ -144,7 +194,7 @@ func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
 		}
 	case MethodDuplicatePairing:
 		for len(out) < budget {
-			i := p.rng.Intn(p.Corpus.Len())
+			i := rng.Intn(p.Corpus.Len())
 			out = append(out, sched.ConcurrentTest{
 				Writer: p.Corpus.Progs[i],
 				Reader: p.Corpus.Progs[i].Clone(),
@@ -156,25 +206,32 @@ func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
 	return out
 }
 
-// ExecuteTests explores each concurrent test (stage 4), folding findings
-// into the report.
+// ExecuteTests explores each concurrent test (stage 4) across a fleet of
+// per-worker explorers, folding findings into the report in test order —
+// the fold is byte-for-byte the serial one, because each test's outcome is
+// a pure function of (test, derived seed).
 func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
-	span := obs.StartSpan("stage.exec", obs.A("tests", len(tests)), obs.A("trials", p.Opts.Trials))
-	mode := sched.ModeSnowboard
+	span := obs.StartSpan("stage.exec", obs.A("tests", len(tests)), obs.A("trials", p.Opts.Trials),
+		obs.A("workers", p.workers()))
 	cov := cover.New()
-	x := &sched.Explorer{
-		Env:               p.Env,
+	template := sched.Explorer{
 		Trials:            p.Opts.Trials,
-		Mode:              mode,
+		Mode:              sched.ModeSnowboard,
 		Detect:            p.Opts.Detect,
 		KnownPMCs:         p.PMCs,
 		DisableIncidental: p.Opts.DisableIncidental,
-		Fsck:              func() []string { return p.Env.K.FsckHost() },
 		Coverage:          cov,
 	}
-	for _, ct := range tests {
-		x.Seed = p.rng.Int63()
-		out := x.Explore(ct)
+	fleet := sched.NewFleet(template, p.workerEnvs(p.workers()),
+		func(e *exec.Env) []string { return e.K.FsckHost() })
+	seeds := make([]int64, len(tests))
+	for i := range seeds {
+		seeds[i] = par.UnitSeed(p.Opts.Seed, par.StageExplore, p.exploreUnits+i)
+	}
+	p.exploreUnits += len(tests)
+	outs := fleet.ExploreAll(tests, seeds)
+	for i, out := range outs {
+		ct := tests[i]
 		r.TestedTests++
 		if ct.Hint != nil {
 			r.TestedPMCs++
@@ -251,5 +308,10 @@ func Run(opts Options) (*Report, error) {
 
 // NewReport allocates an empty report bound to the pipeline's method.
 func (p *Pipeline) NewReport() *Report {
-	return &Report{Method: p.Opts.Method.Name, Version: p.Opts.Version, Issues: make(map[int]IssueRecord)}
+	return &Report{
+		Method:  p.Opts.Method.Name,
+		Version: p.Opts.Version,
+		Workers: p.workers(),
+		Issues:  make(map[int]IssueRecord),
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 func TestFullPipelineSmoke(t *testing.T) {
 	opts := DefaultOptions()
+	opts.Seed = 10
 	opts.FuzzBudget = 300
 	opts.CorpusCap = 80
 	opts.TestBudget = 40

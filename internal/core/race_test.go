@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"snowboard/internal/detect"
+	"snowboard/internal/sched"
+)
+
+// Regression test for the shared-rand.Rand data race the Pipeline used to
+// carry in its rng field: profiling and exploration now run concurrently
+// inside one pipeline, and with per-unit derived seeds there is no shared
+// mutable randomness left. The test drives both stages from separate
+// goroutines against worker environments of the same pipeline and relies
+// on -race (CI runs the whole suite under it) to flag any regression.
+func TestProfilingAndExplorationConcurrently(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Seed = 5
+	opts.FuzzBudget = 200
+	opts.CorpusCap = 40
+	opts.Trials = 4
+	opts.Workers = 4
+
+	p := NewPipeline(opts)
+	r := p.NewReport()
+	p.BuildCorpus(r)
+	if err := p.ProfileAll(r); err != nil {
+		t.Fatal(err)
+	}
+	p.IdentifyPMCs(r)
+	tests := p.GenerateTests(r, 8)
+	if len(tests) == 0 {
+		t.Fatal("no concurrent tests generated")
+	}
+
+	// Stage 1b and stage 4 concurrently, on distinct worker environments.
+	profEnv := p.Env.Clone()
+	expEnv := p.Env.Clone()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, prog := range p.Corpus.Progs {
+			if _, _, res := profEnv.Profile(prog); res.Crashed() {
+				t.Errorf("profiling crashed: %v", res.Faults)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		x := &sched.Explorer{
+			Env:       expEnv,
+			Trials:    opts.Trials,
+			Mode:      sched.ModeSnowboard,
+			Detect:    detect.DefaultOptions(),
+			KnownPMCs: p.PMCs,
+		}
+		for i, ct := range tests {
+			x.Seed = int64(i + 1)
+			x.Explore(ct)
+		}
+	}()
+	wg.Wait()
+
+	// And the full parallel pipeline end to end, all stages fanned out.
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -78,6 +78,25 @@ func (c *Coverage) AddTrace(tr *trace.Trace) int {
 	return fresh
 }
 
+// Merge folds other's accumulated pairs into c (counts add) and returns
+// how many pairs were new to c. Per-worker accumulators merged in a fixed
+// order yield the same totals as one shared accumulator. other is not
+// modified; merging an accumulator into itself is not supported.
+func (c *Coverage) Merge(other *Coverage) int {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fresh := 0
+	for p, n := range other.pairs {
+		if c.pairs[p] == 0 {
+			fresh++
+		}
+		c.pairs[p] += n
+	}
+	return fresh
+}
+
 // Len returns the number of distinct pairs covered so far.
 func (c *Coverage) Len() int {
 	c.mu.Lock()

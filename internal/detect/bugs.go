@@ -59,6 +59,10 @@ var raceAliases = map[[2]string]int{
 	{"rht_assign_unlock", "ipcget"}:                1,
 	{"rht_assign_unlock", "rhashtable_lookup"}:     1,
 	{"rht_assign_unlock", "rht_key_hashfn"}:        1,
+	// Use-after-free shadow of the lockless configfs lookup: the freed item
+	// is unlinked into the allocator freelist while the stale lookup still
+	// holds a reference.
+	{"kfree", "config_item_get"}: 11,
 	{"configfs_detach_item", "configfs_attach"}:    11,
 	{"snd_ctl_elem_remove", "snd_ctl_elem_add"}:    15,
 	{"snd_ctl_elem_add", "snd_ctl_elem_remove"}:    15,

@@ -50,6 +50,19 @@ func NewEnv(cfg kernel.Config) *Env {
 	return &Env{M: m, K: k, Snap: m.Mem.Snapshot(), Cfg: k.Cfg}
 }
 
+// Clone returns an independent execution environment that starts every
+// test from the same fixed snapshot as e. The snapshot is shared, not
+// copied: snapshot pages are immutable (the VM copies on write), so any
+// number of clones may run concurrently, one goroutine each. Booting is
+// deterministic, so a clone's kernel has the same guest addresses as the
+// original and produces bit-identical traces for the same test.
+func (e *Env) Clone() *Env {
+	m := vm.NewMachine()
+	k := kernel.Boot(m, e.Cfg)
+	m.Mem.Restore(e.Snap)
+	return &Env{M: m, K: k, Snap: e.Snap, Cfg: e.Cfg, MaxSteps: e.MaxSteps}
+}
+
 // NewEnvWithSetup boots a kernel, runs setup once sequentially, and
 // snapshots the *resulting* state as the environment's fixed starting
 // point. This implements §4.1's growth of initial kernel states: "some

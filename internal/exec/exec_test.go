@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -228,5 +229,53 @@ func TestMaxStepsHang(t *testing.T) {
 	res := env.RunSequential(l2tpReaderProg(), nil)
 	if !res.Hung {
 		t.Fatal("step-limited run not reported as hung")
+	}
+}
+
+func TestCloneProfilesMatchOriginal(t *testing.T) {
+	env := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	clone := env.Clone()
+	prog := l2tpReaderProg()
+	want, _, wres := env.Profile(prog)
+	got, _, gres := clone.Profile(prog)
+	if wres.Crashed() || gres.Crashed() {
+		t.Fatalf("profile crashed: %v / %v", wres.Faults, gres.Faults)
+	}
+	if len(want) == 0 || len(got) != len(want) {
+		t.Fatalf("clone profiled %d accesses, original %d", len(got), len(want))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("clone profile differs from original")
+	}
+}
+
+// Clones share the boot snapshot copy-on-write; running them from separate
+// goroutines must be race-free and bit-identical (run under -race in CI).
+func TestClonesRunConcurrently(t *testing.T) {
+	env := NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	prog := l2tpReaderProg()
+	want, _, _ := env.Profile(prog)
+
+	const n = 4
+	results := make([][]trace.Access, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		clone := env.Clone()
+		go func(i int) {
+			accs, _, _ := clone.Profile(prog)
+			results[i] = accs
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i, accs := range results {
+		if len(accs) != len(want) {
+			t.Fatalf("clone %d profiled %d accesses, want %d", i, len(accs), len(want))
+		}
+		if !reflect.DeepEqual(accs, want) {
+			t.Fatalf("clone %d profile differs from original", i)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"snowboard/internal/corpus"
 	"snowboard/internal/exec"
 	"snowboard/internal/obs"
+	"snowboard/internal/par"
 	"snowboard/internal/trace"
 )
 
@@ -31,39 +32,85 @@ type CampaignResult struct {
 // mirrors the paper's setup: the generator produces a large redundant
 // stream; only tests contributing new edge coverage are kept (§4.1.1).
 func Campaign(env *exec.Env, seed int64, budget, maxKeep int) CampaignResult {
-	g := NewGenerator(seed)
+	return CampaignSharded([]*exec.Env{env}, seed, budget, maxKeep)
+}
+
+// batchSize is the number of candidate programs produced per
+// synchronization round of CampaignSharded. Candidates within a round are
+// generated against the round-start corpus and executed in parallel; the
+// coverage/selection fold between rounds stays sequential in unit order.
+// The size is fixed — never derived from the worker count — so the
+// candidate stream, and therefore the resulting corpus, is identical for
+// any number of workers.
+const batchSize = 32
+
+// CampaignSharded is Campaign fanned out across len(envs) worker
+// environments (one goroutine per env). Each candidate program derives its
+// generator from par.UnitSeed(seed, StageFuzz, unit), where unit is the
+// candidate's global index in the campaign — not a per-worker counter — so
+// results are bit-identical to CampaignSharded with a single env.
+func CampaignSharded(envs []*exec.Env, seed int64, budget, maxKeep int) CampaignResult {
 	cov := NewCoverage()
 	out := CampaignResult{Corpus: corpus.NewCorpus()}
-	var tr trace.Trace
+	traces := make([]trace.Trace, len(envs))
 
+	type unit struct {
+		prog    *corpus.Prog
+		edges   map[[2]trace.Ins]bool
+		crashed bool
+	}
 	for out.Executed < budget {
-		var p *corpus.Prog
-		// Mostly mutate existing corpus entries once one exists, like
-		// Syzkaller; otherwise generate fresh.
-		if out.Corpus.Len() > 0 && g.rng.Intn(3) != 0 {
-			p = g.Mutate(out.Corpus.Progs[g.rng.Intn(out.Corpus.Len())])
-		} else {
-			p = g.Generate()
+		n := budget - out.Executed
+		if n > batchSize {
+			n = batchSize
 		}
-		out.Executed++
-		mExecs.Inc()
-		res := env.RunSequential(p, &tr)
-		env.M.SetTrace(nil)
-		if res.Crashed() || res.Hung || res.Deadlock {
-			// A sequential test should not crash the kernel; such programs
-			// are discarded (and would be reported as sequential bugs).
-			out.Crashes++
-			mCrashes.Inc()
-			continue
-		}
-		if n := cov.Merge(EdgesOf(&tr)); n > 0 {
-			if out.Corpus.Add(p) {
-				out.Selected++
-				mSelected.Inc()
-				mCorpus.Set(int64(out.Corpus.Len()))
+		// Mutation picks reference the round-start corpus, which every
+		// worker sees identically.
+		snapshot := append([]*corpus.Prog(nil), out.Corpus.Progs...)
+		base := out.Executed
+		units := par.Map(len(envs), n, func(w, i int) unit {
+			g := NewGenerator(par.UnitSeed(seed, par.StageFuzz, base+i))
+			var p *corpus.Prog
+			// Mostly mutate existing corpus entries once one exists, like
+			// Syzkaller; otherwise generate fresh.
+			if len(snapshot) > 0 && g.rng.Intn(3) != 0 {
+				p = g.Mutate(snapshot[g.rng.Intn(len(snapshot))])
+			} else {
+				p = g.Generate()
+			}
+			env, tr := envs[w], &traces[w]
+			res := env.RunSequential(p, tr)
+			env.M.SetTrace(nil)
+			if res.Crashed() || res.Hung || res.Deadlock {
+				// A sequential test should not crash the kernel; such
+				// programs are discarded (and would be reported as
+				// sequential bugs).
+				return unit{prog: p, crashed: true}
+			}
+			return unit{prog: p, edges: EdgesOf(tr)}
+		})
+		full := false
+		for _, u := range units {
+			out.Executed++
+			mExecs.Inc()
+			if u.crashed {
+				out.Crashes++
+				mCrashes.Inc()
+				continue
+			}
+			if n := cov.Merge(u.edges); n > 0 {
+				if out.Corpus.Add(u.prog) {
+					out.Selected++
+					mSelected.Inc()
+					mCorpus.Set(int64(out.Corpus.Len()))
+				}
+			}
+			if maxKeep > 0 && out.Corpus.Len() >= maxKeep {
+				full = true
+				break
 			}
 		}
-		if maxKeep > 0 && out.Corpus.Len() >= maxKeep {
+		if full {
 			break
 		}
 	}

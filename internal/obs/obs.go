@@ -55,6 +55,12 @@ const (
 	MSchedChannelHit = "sched.channel_hits"      // counter: hinted tests whose channel occurred
 	MSchedIncidental = "sched.incidental_adopts" // counter: incidental PMCs adopted (Alg. 2 l.26–27)
 
+	// Parallel execution engine (internal/par).
+	MParWorkers      = "par.workers"          // gauge: worker goroutines in active pools
+	MParQueueDepth   = "par.queue_depth"      // gauge: units not yet claimed by a worker
+	MParUnits        = "par.units"            // counter: work units executed
+	MParUnitDuration = "par.unit.duration_ns" // histogram: per-unit wall time
+
 	// Oracles.
 	MDetectReports = "detect.reports"      // counter: raw oracle findings (incl. re-observations)
 	MDetectHarmful = "detect.harmful"      // counter: harmful findings

@@ -1,0 +1,154 @@
+package pmc
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"snowboard/internal/trace"
+)
+
+// genProfiles produces a random profile set from a narrow address/value
+// pool, dense enough that many (writer, reader) pairs collide on the same
+// PMC keys and push the bounded pair lists past MaxPairsPerPMC.
+func genProfiles(rng *rand.Rand) []Profile {
+	insPool := []trace.Ins{insW1, insW2, insR1, insR2}
+	n := 3 + rng.Intn(6)
+	profiles := make([]Profile, n)
+	for i := range profiles {
+		accs := make([]trace.Access, 4+rng.Intn(12))
+		for j := range accs {
+			kind := trace.Read
+			if rng.Intn(2) == 0 {
+				kind = trace.Write
+			}
+			accs[j] = trace.Access{
+				Ins:  insPool[rng.Intn(len(insPool))],
+				Kind: kind,
+				Addr: 0x100 + uint64(rng.Intn(12)),
+				Size: uint8(1 + rng.Intn(8)),
+				Val:  uint64(rng.Intn(4)),
+			}
+		}
+		profiles[i] = Profile{TestID: i, Accesses: accs}
+	}
+	return profiles
+}
+
+// flatten renders a Set canonically for deep comparison.
+func flatten(s *Set) []string {
+	out := make([]string, 0, len(s.Entries))
+	for key, e := range s.Entries {
+		out = append(out, fmt.Sprintf("%v|df=%v|%v|%d", key, e.PMC.DFLeader, e.Pairs, e.PairCount))
+	}
+	sort.Strings(out)
+	out = append(out, fmt.Sprintf("total=%d", s.TotalCombinations))
+	return out
+}
+
+// readerShards identifies each profile's reads separately against the full
+// write index, returning one Set per profile — the unit IdentifyParallel
+// distributes across workers.
+func readerShards(profiles []Profile, opt Options) []*Set {
+	idx := buildIndex(profiles)
+	shards := make([]*Set, len(profiles))
+	for i := range profiles {
+		shards[i] = NewSet()
+		identifyReader(idx, &profiles[i], opt, shards[i])
+	}
+	return shards
+}
+
+// TestSetMergeShuffleInvariant is the merge property test: for ≥50
+// generated profile sets, merging the per-reader shards in any (seeded
+// shuffled) order must equal identifying over the concatenated profiles —
+// commutativity — and merging pre-merged groups must agree too —
+// associativity.
+func TestSetMergeShuffleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		opt := DefaultOptions()
+		if trial%3 == 1 {
+			opt.AllowSelfPairs = false
+		}
+		if trial%5 == 2 {
+			opt.SkipValueFilter = true
+		}
+		profiles := genProfiles(rng)
+		want := flatten(Identify(profiles, opt))
+
+		shards := readerShards(profiles, opt)
+
+		// Commutativity: three independent shuffles of the merge order.
+		for s := 0; s < 3; s++ {
+			order := rng.Perm(len(shards))
+			merged := NewSet()
+			for _, i := range order {
+				merged.Merge(shards[i])
+			}
+			if got := flatten(merged); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d shuffle %d: shard merge order %v diverges from serial Identify\ngot:  %v\nwant: %v",
+					trial, s, order, got, want)
+			}
+		}
+
+		// Associativity: fold into two groups split at a random point,
+		// merge the groups, compare again.
+		if len(shards) >= 2 {
+			cut := 1 + rng.Intn(len(shards)-1)
+			left, right := NewSet(), NewSet()
+			for _, sh := range shards[:cut] {
+				left.Merge(sh)
+			}
+			for _, sh := range shards[cut:] {
+				right.Merge(sh)
+			}
+			left.Merge(right)
+			if got := flatten(left); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: grouped merge (cut=%d) diverges from serial Identify", trial, cut)
+			}
+		}
+
+		// And the production path at several worker counts.
+		for _, workers := range []int{2, 3, 8} {
+			if got := flatten(IdentifyParallel(profiles, opt, workers)); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: IdentifyParallel(workers=%d) diverges from serial Identify", trial, workers)
+			}
+		}
+	}
+}
+
+// TestSetMergePairListStaysCanonical checks the k-smallest invariant
+// directly: a merged entry's pair list is the canonically smallest
+// MaxPairsPerPMC pairs of the union, regardless of how observations were
+// split across shards.
+func TestSetMergePairListStaysCanonical(t *testing.T) {
+	p := PMC{Write: Key{Ins: insW1, Addr: 0x100, Size: 8, Val: 1},
+		Read: Key{Ins: insR1, Addr: 0x100, Size: 8, Val: 2}}
+	rng := rand.New(rand.NewSource(7))
+	var all []Pair
+	a, b := NewSet(), NewSet()
+	for i := 0; i < 3*MaxPairsPerPMC; i++ {
+		pair := Pair{Writer: rng.Intn(10), Reader: rng.Intn(10)}
+		all = append(all, pair)
+		if rng.Intn(2) == 0 {
+			a.Add(p, pair)
+		} else {
+			b.Add(p, pair)
+		}
+	}
+	a.Merge(b)
+	sort.Slice(all, func(i, j int) bool { return pairLess(all[i], all[j]) })
+	e := a.Entries[p]
+	if e == nil || len(e.Pairs) != MaxPairsPerPMC {
+		t.Fatalf("merged entry missing or wrong size: %+v", e)
+	}
+	if !reflect.DeepEqual(e.Pairs, all[:MaxPairsPerPMC]) {
+		t.Fatalf("merged pairs are not the canonical smallest:\ngot:  %v\nwant: %v", e.Pairs, all[:MaxPairsPerPMC])
+	}
+	if e.PairCount != int64(len(all)) {
+		t.Fatalf("PairCount = %d, want %d", e.PairCount, len(all))
+	}
+}

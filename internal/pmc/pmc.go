@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"snowboard/internal/obs"
+	"snowboard/internal/par"
 	"snowboard/internal/trace"
 )
 
@@ -59,11 +60,43 @@ type Pair struct {
 // identified 169 billion PMCs — only aggregates are storable at that scale.
 const MaxPairsPerPMC = 16
 
+// pairLess orders pairs canonically: by writer test, then reader test.
+func pairLess(a, b Pair) bool {
+	if a.Writer != b.Writer {
+		return a.Writer < b.Writer
+	}
+	return a.Reader < b.Reader
+}
+
 // Entry aggregates everything known about one PMC key.
+//
+// Pairs holds the MaxPairsPerPMC canonically smallest (writer, reader)
+// observations, with multiplicity. Keeping the k smallest — rather than
+// the first k encountered — makes the bound independent of observation
+// order: the k smallest of a union equal the k smallest of the per-shard
+// k-smallest lists, which is what lets Set.Merge combine shard results in
+// any order and still match a whole-set identification.
 type Entry struct {
 	PMC       PMC
-	Pairs     []Pair // up to MaxPairsPerPMC concrete test pairs
+	Pairs     []Pair // the MaxPairsPerPMC canonically smallest test pairs
 	PairCount int64  // total combinations, uncapped
+}
+
+// addPair inserts pair into the sorted bounded list, dropping the largest
+// element when the list is full.
+func (e *Entry) addPair(pair Pair) {
+	i := len(e.Pairs)
+	for i > 0 && pairLess(pair, e.Pairs[i-1]) {
+		i--
+	}
+	if i >= MaxPairsPerPMC {
+		return
+	}
+	if len(e.Pairs) < MaxPairsPerPMC {
+		e.Pairs = append(e.Pairs, Pair{})
+	}
+	copy(e.Pairs[i+1:], e.Pairs[i:])
+	e.Pairs[i] = pair
 }
 
 // Set is the PMC database produced by identification.
@@ -89,11 +122,29 @@ func (s *Set) Add(p PMC, pair Pair) {
 	if p.DFLeader && !e.PMC.DFLeader {
 		e.PMC.DFLeader = true
 	}
-	if len(e.Pairs) < MaxPairsPerPMC {
-		e.Pairs = append(e.Pairs, pair)
-	}
+	e.addPair(pair)
 	e.PairCount++
 	s.TotalCombinations++
+}
+
+// Merge folds other into s. Entries merge key-wise: pair counts add and
+// the bounded pair lists keep the canonically smallest MaxPairsPerPMC
+// observations, so Merge is commutative and associative and merging
+// per-shard identifications equals identifying over the whole profile set.
+// other is not modified.
+func (s *Set) Merge(other *Set) {
+	for key, oe := range other.Entries {
+		e := s.Entries[key]
+		if e == nil {
+			e = &Entry{PMC: oe.PMC}
+			s.Entries[key] = e
+		}
+		for _, pair := range oe.Pairs {
+			e.addPair(pair)
+		}
+		e.PairCount += oe.PairCount
+	}
+	s.TotalCombinations += other.TotalCombinations
 }
 
 // Len returns the number of distinct PMC keys.
@@ -121,6 +172,33 @@ func DefaultOptions() Options { return Options{AllowSelfPairs: true} }
 
 // Identify runs Algorithm 1 over the profiles and returns the PMC set.
 func Identify(profiles []Profile, opt Options) *Set {
+	return IdentifyParallel(profiles, opt, 1)
+}
+
+// IdentifyParallel runs Algorithm 1 sharded by reader profile across
+// workers goroutines (0 means GOMAXPROCS). All workers scan a shared
+// read-only write index; each produces a per-shard Set which is merged in
+// profile order. Because Set.Merge keeps canonical bounded pair lists, the
+// result is identical to a serial Identify regardless of worker count.
+func IdentifyParallel(profiles []Profile, opt Options, workers int) *Set {
+	idx := buildIndex(profiles)
+	shards := par.Map(workers, len(profiles), func(_, pi int) *Set {
+		shard := NewSet()
+		identifyReader(idx, &profiles[pi], opt, shard)
+		return shard
+	})
+	set := NewSet()
+	for _, shard := range shards {
+		set.Merge(shard)
+	}
+	obs.G(obs.MPMCIdentified).Set(int64(set.Len()))
+	obs.G(obs.MPMCCombinations).Set(set.TotalCombinations)
+	return set
+}
+
+// buildIndex gathers every write access of the profiles into a sealed
+// ordered index, safe for concurrent overlap queries.
+func buildIndex(profiles []Profile) *index {
 	idx := newIndex()
 	for pi := range profiles {
 		p := &profiles[pi]
@@ -132,35 +210,33 @@ func Identify(profiles []Profile, opt Options) *Set {
 		}
 	}
 	idx.seal()
+	return idx
+}
 
-	set := NewSet()
-	for pi := range profiles {
-		p := &profiles[pi]
-		for ai := range p.Accesses {
-			r := &p.Accesses[ai]
-			if r.Kind != trace.Read {
-				continue
-			}
-			idx.overlapping(r, func(w writeRec) {
-				if !opt.AllowSelfPairs && w.test == p.TestID {
-					return
-				}
-				lo, hi := r.OverlapRange(w.acc)
-				if !opt.SkipValueFilter {
-					if r.ProjectVal(lo, hi) == w.acc.ProjectVal(lo, hi) {
-						return // the write would not change what the read sees
-					}
-				}
-				pmc := PMC{
-					Write:    Key{Ins: w.acc.Ins, Addr: w.acc.Addr, Size: w.acc.Size, Val: w.acc.Val},
-					Read:     Key{Ins: r.Ins, Addr: r.Addr, Size: r.Size, Val: r.Val},
-					DFLeader: p.DFLeader[ai],
-				}
-				set.Add(pmc, Pair{Writer: w.test, Reader: p.TestID})
-			})
+// identifyReader scans one reader profile against the sealed write index,
+// adding every identified PMC to set (Algorithm 1 lines 6–14).
+func identifyReader(idx *index, p *Profile, opt Options, set *Set) {
+	for ai := range p.Accesses {
+		r := &p.Accesses[ai]
+		if r.Kind != trace.Read {
+			continue
 		}
+		idx.overlapping(r, func(w writeRec) {
+			if !opt.AllowSelfPairs && w.test == p.TestID {
+				return
+			}
+			lo, hi := r.OverlapRange(w.acc)
+			if !opt.SkipValueFilter {
+				if r.ProjectVal(lo, hi) == w.acc.ProjectVal(lo, hi) {
+					return // the write would not change what the read sees
+				}
+			}
+			pmc := PMC{
+				Write:    Key{Ins: w.acc.Ins, Addr: w.acc.Addr, Size: w.acc.Size, Val: w.acc.Val},
+				Read:     Key{Ins: r.Ins, Addr: r.Addr, Size: r.Size, Val: r.Val},
+				DFLeader: p.DFLeader[ai],
+			}
+			set.Add(pmc, Pair{Writer: w.test, Reader: p.TestID})
+		})
 	}
-	obs.G(obs.MPMCIdentified).Set(int64(set.Len()))
-	obs.G(obs.MPMCCombinations).Set(set.TotalCombinations)
-	return set
 }

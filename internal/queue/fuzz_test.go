@@ -1,0 +1,59 @@
+package queue
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzQueueWire throws arbitrary bytes at the TCP codec as a single
+// line-delimited frame: the server must never panic, must answer exactly
+// one response per frame, and must answer every malformed frame with
+// {"ok":false,...} on the still-open connection.
+func FuzzQueueWire(f *testing.F) {
+	f.Add([]byte(`{"op":"pop"}`))
+	f.Add([]byte(`{"op":"push","job":{"id":1}}`))
+	f.Add([]byte(`{"op":"report","result":{"id":1}}`))
+	f.Add([]byte(`{"op":`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`"pop"`))
+	f.Add([]byte("\x00\xff garbage \x7f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// One frame: the protocol is line-delimited, so embedded newlines
+		// would split the input into several requests.
+		frame := bytes.ReplaceAll(data, []byte("\n"), []byte(" "))
+		frame = bytes.ReplaceAll(frame, []byte("\r"), []byte(" "))
+
+		s := &Server{Q: New()}
+		cli, srv := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			s.handle(srv)
+			close(done)
+		}()
+		_ = cli.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := cli.Write(append(frame, '\n')); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		line, err := bufio.NewReader(cli).ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("no response to frame %q: %v", frame, err)
+		}
+		var resp wireResp
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatalf("response to %q is not valid JSON: %q (%v)", frame, line, err)
+		}
+		var req wireReq
+		if json.Unmarshal(append(frame, '\n'), &req) != nil && resp.OK {
+			t.Fatalf("malformed frame %q answered with ok=true", frame)
+		}
+		if resp.OK && resp.Err != "" {
+			t.Fatalf("contradictory response to %q: ok with err=%q", frame, resp.Err)
+		}
+		_ = cli.Close()
+		<-done
+	})
+}

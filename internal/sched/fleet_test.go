@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"snowboard/internal/cover"
+	"snowboard/internal/detect"
+	"snowboard/internal/exec"
+	"snowboard/internal/kernel"
+)
+
+// fleetOutcomes runs the same exploration batch across a fleet of the
+// given width and returns the outcomes plus merged coverage size.
+func fleetOutcomes(t *testing.T, workers int) ([]Outcome, int) {
+	t.Helper()
+	env := exec.NewEnv(kernel.Config{Version: kernel.V5_12_RC3})
+	set, key := identifyL2TP(t, env)
+
+	template := Explorer{
+		Trials:    6,
+		Mode:      ModeSnowboard,
+		Detect:    detect.DefaultOptions(),
+		KnownPMCs: set,
+		Coverage:  cover.New(),
+	}
+	envs := []*exec.Env{env}
+	for len(envs) < workers {
+		envs = append(envs, env.Clone())
+	}
+	fleet := NewFleet(template, envs, func(e *exec.Env) []string { return e.K.FsckHost() })
+
+	var tests []ConcurrentTest
+	var seeds []int64
+	for i := 0; i < 6; i++ {
+		hint := key
+		tests = append(tests, ConcurrentTest{Writer: l2tpWriterProg(), Reader: l2tpReaderProg(), Hint: &hint})
+		seeds = append(seeds, int64(1000+i*17))
+	}
+	outs := fleet.ExploreAll(tests, seeds)
+	return outs, template.Coverage.Len()
+}
+
+// A fleet must produce the same outcomes regardless of its width: each
+// test's exploration is a pure function of (test, seed).
+func TestFleetOutcomesWorkerCountInvariant(t *testing.T) {
+	o1, c1 := fleetOutcomes(t, 1)
+	o4, c4 := fleetOutcomes(t, 4)
+	if len(o1) != len(o4) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(o1), len(o4))
+	}
+	for i := range o1 {
+		a, b := o1[i], o4[i]
+		// NewCoverPairs depends on which worker's accumulator saw a pair
+		// first; everything else must match exactly.
+		a.NewCoverPairs, b.NewCoverPairs = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("outcome %d differs across worker counts:\n1 worker: %+v\n4 workers: %+v", i, a, b)
+		}
+	}
+	if c1 != c4 || c1 == 0 {
+		t.Fatalf("merged coverage differs: %d (1 worker) vs %d (4 workers)", c1, c4)
+	}
+	found := false
+	for _, o := range o1 {
+		if o.Found() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no issue surfaced in any outcome; exploration lost its teeth")
+	}
+}
