@@ -1,0 +1,49 @@
+package snowboard_test
+
+// Benchmarks for the checkpoint & resume layer: a cold run executes all
+// four stages, a warm run resolves every stage from the content-addressed
+// store in the same -state directory. The warm/cold ratio is the payoff of
+// stage memoization — the reproduction-scale analogue of reusing the
+// paper's 40-machine-hour profiling pass across all eleven Table 3
+// methods. Recorded numbers live in BENCH_store.json.
+
+import (
+	"testing"
+
+	"snowboard"
+)
+
+func resumeBenchOptions() snowboard.Options {
+	opts := snowboard.DefaultOptions()
+	opts.Seed = 11
+	opts.FuzzBudget = 200
+	opts.CorpusCap = 60
+	opts.TestBudget = 20
+	opts.Trials = 8
+	return opts
+}
+
+func BenchmarkResumeWarmVsCold(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := resumeBenchOptions()
+			opts.StateDir = b.TempDir() // fresh store: every stage executes
+			if _, err := snowboard.Run(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opts := resumeBenchOptions()
+		opts.StateDir = b.TempDir()
+		if _, err := snowboard.Run(opts); err != nil { // prime the store
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := snowboard.Run(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

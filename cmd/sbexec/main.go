@@ -6,8 +6,14 @@
 // Usage:
 //
 //	sbexec -addr 127.0.0.1:7070 [-version 5.12-rc3] [-trials 64]
-//	       [-workers 0] [-name worker-1] [-idle-exit 5s] [-http :0]
-//	       [-progress 10s]
+//	       [-workers 0] [-state dir] [-name worker-1] [-idle-exit 5s]
+//	       [-http :0] [-progress 10s]
+//
+// With -state, the worker opens the content-addressed artifact store rooted
+// there and resolves by-reference jobs (corpus digest + pair indices, as
+// enqueued by sbqueue -state) against it; each referenced corpus artifact
+// is decoded once per process and cached. Without -state, a by-reference
+// job is a configuration error and the worker exits with a clear message.
 //
 // With -workers N the process runs N explorer goroutines against one
 // shared queue connection, each with its own simulated-kernel environment.
@@ -19,8 +25,10 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"sync"
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"snowboard"
+	"snowboard/internal/corpus"
 	"snowboard/internal/detect"
 	"snowboard/internal/obs"
 	"snowboard/internal/par"
@@ -41,6 +50,7 @@ func main() {
 		version  = flag.String("version", string(snowboard.V5_12_RC3), "simulated kernel version")
 		trials   = flag.Int("trials", 64, "interleaving trials per test")
 		workers  = flag.Int("workers", 0, "explorer goroutines in this process (0 = one per CPU)")
+		stateDir = flag.String("state", "", "artifact store directory for resolving by-reference jobs (must match the coordinator's -state)")
 		name     = flag.String("name", hostDefault(), "worker name in reports")
 		idleExit = flag.Duration("idle-exit", 5*time.Second, "exit after this long with an empty queue")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
@@ -67,6 +77,15 @@ func main() {
 	}
 	defer client.Close()
 
+	cache := &corpusCache{m: make(map[string]*corpus.Corpus)}
+	if *stateDir != "" {
+		cache.st, err = snowboard.OpenStore(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diag.Printf("resolving by-reference jobs from artifact store %s", *stateDir)
+	}
+
 	nw := par.Workers(*workers)
 	var jobs atomic.Int64
 	var wg sync.WaitGroup
@@ -74,18 +93,53 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			workLoop(client, snowboard.Version(*version), *trials, *name, *idleExit, &jobs)
+			workLoop(client, cache, snowboard.Version(*version), *trials, *name, *idleExit, &jobs)
 		}()
 	}
 	wg.Wait()
 	diag.Printf("all %d explorer goroutines done, processed %d jobs", nw, jobs.Load())
 }
 
+// corpusCache resolves corpus artifacts referenced by jobs, decoding each
+// digest at most once per process; safe for concurrent explorer goroutines.
+type corpusCache struct {
+	st *snowboard.Store
+	mu sync.Mutex
+	m  map[string]*corpus.Corpus
+}
+
+// get returns the decoded corpus for a hex digest, loading it from the
+// store on first use.
+func (cc *corpusCache) get(hex string) (*corpus.Corpus, error) {
+	if cc.st == nil {
+		return nil, fmt.Errorf("job references corpus artifact %.12s… but no artifact store is attached — rerun with -state pointing at the coordinator's store", hex)
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c, ok := cc.m[hex]; ok {
+		return c, nil
+	}
+	d, err := snowboard.ParseDigest(hex)
+	if err != nil {
+		return nil, fmt.Errorf("bad corpus digest %q: %v", hex, err)
+	}
+	payload, err := cc.st.Get(snowboard.KindCorpus, d)
+	if err != nil {
+		return nil, fmt.Errorf("corpus artifact %.12s…: %v", hex, err)
+	}
+	c, err := corpus.DecodeCorpus(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("corpus artifact %.12s…: %v", hex, err)
+	}
+	cc.m[hex] = c
+	return c, nil
+}
+
 // workLoop is one explorer goroutine: it owns a private simulated-kernel
 // environment and pops jobs from the shared (mutex-guarded) client until
 // the queue closes or stays empty past the idle deadline. Job seeds come
 // from the job ID, not the goroutine, so placement cannot change results.
-func workLoop(client *queue.Client, version snowboard.Version, trials int, name string, idleExit time.Duration, jobs *atomic.Int64) {
+func workLoop(client *queue.Client, cache *corpusCache, version snowboard.Version, trials int, name string, idleExit time.Duration, jobs *atomic.Int64) {
 	env := snowboard.NewEnv(version)
 	x := &snowboard.Explorer{
 		Env:    env,
@@ -112,6 +166,16 @@ func workLoop(client *queue.Client, version snowboard.Version, trials int, name 
 		}
 		idleSince = time.Now()
 		jobs.Add(1)
+
+		if !job.Inline() {
+			c, err := cache.get(job.Corpus)
+			if err != nil {
+				log.Fatalf("job %d: %v", job.ID, err)
+			}
+			if err := job.Resolve(c); err != nil {
+				log.Fatal(err)
+			}
+		}
 
 		x.Seed = int64(job.ID)*1009 + 1
 		out := x.Explore(sched.ConcurrentTest{

@@ -7,7 +7,13 @@
 // Usage:
 //
 //	sbprofile [-version 5.12-rc3] [-seed 1] [-fuzz 400] [-corpus 120]
-//	          [-workers 0] [-top 10] [-dump-tests] [-http :0] [-progress 10s]
+//	          [-workers 0] [-state dir] [-top 10] [-dump-tests] [-http :0]
+//	          [-progress 10s]
+//
+// With -state, the corpus, profile-set, and PMC-set artifacts are persisted
+// into the content-addressed store rooted there and their digests printed,
+// so snowboard/sbqueue/sbexec runs pointed at the same -state resume from
+// them instead of re-fuzzing and re-profiling.
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 		fuzzN    = flag.Int("fuzz", 400, "sequential fuzzing executions")
 		corpusN  = flag.Int("corpus", 120, "corpus size cap")
 		workers  = flag.Int("workers", 0, "parallel worker goroutines per stage (0 = one per CPU)")
+		stateDir = flag.String("state", "", "artifact store directory: persist corpus/profile/PMC artifacts and resume from them")
 		top      = flag.Int("top", 10, "hottest channels to print")
 		dump     = flag.Bool("dump-tests", false, "print every corpus program")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
@@ -56,6 +63,13 @@ func main() {
 	opts.Workers = *workers
 
 	p := snowboard.NewPipeline(opts)
+	if *stateDir != "" {
+		st, err := snowboard.OpenStore(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.UseStore(st)
+	}
 	r := p.NewReport()
 	p.BuildCorpus(r)
 	if err := p.ProfileAll(r); err != nil {
@@ -68,8 +82,16 @@ func main() {
 	fmt.Printf("syscall histogram: %v\n", p.Corpus.SyscallHistogram())
 	fmt.Printf("profiling: %d shared accesses in %v (%.0f accesses/test)\n",
 		r.ProfiledAccesses, r.ProfileTime, float64(r.ProfiledAccesses)/float64(r.CorpusSize))
-	fmt.Printf("PMCs: %d distinct keys, %d combinations, identified in %v\n\n",
+	fmt.Printf("PMCs: %d distinct keys, %d combinations, identified in %v\n",
 		r.DistinctPMCs, r.PMCCombinations, r.IdentifyTime)
+	if *stateDir != "" {
+		corpusD, profilesD, pmcsD := p.ArtifactDigests()
+		fmt.Printf("artifacts (state %s):\n", *stateDir)
+		fmt.Printf("  corpus   %s\n", corpusD)
+		fmt.Printf("  profiles %s\n", profilesD)
+		fmt.Printf("  pmcs     %s\n", pmcsD)
+	}
+	fmt.Println()
 
 	fmt.Printf("%-16s %9s\n", "Strategy", "Clusters")
 	for _, s := range snowboard.Strategies() {

@@ -7,7 +7,13 @@
 //
 //	sbqueue [-addr 127.0.0.1:7070] [-version 5.12-rc3] [-method S-INS-PAIR]
 //	        [-seed 1] [-fuzz 400] [-corpus 120] [-tests 200] [-workers 0]
-//	        [-wait 30s] [-http :8080] [-progress 10s]
+//	        [-state dir] [-wait 30s] [-http :8080] [-progress 10s]
+//
+// With -state, the local stages resume from the content-addressed artifact
+// store rooted there, and jobs go on the wire *by reference* — a corpus
+// digest plus two pair indices instead of two inline programs — so workers
+// started with the same -state (a shared directory) resolve programs from
+// the store and the wire format stays a few dozen bytes per job.
 //
 // Operational chatter goes to stderr; only the final summary is written to
 // stdout. With -http, the live introspection server exposes the queue's
@@ -37,6 +43,7 @@ func main() {
 		corpusN  = flag.Int("corpus", 120, "corpus size cap")
 		tests    = flag.Int("tests", 200, "concurrent tests to enqueue")
 		workers  = flag.Int("workers", 0, "parallel worker goroutines for the local stages (0 = one per CPU)")
+		stateDir = flag.String("state", "", "artifact store directory: resume local stages from it and enqueue jobs by corpus digest")
 		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for workers after the queue drains")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
 		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
@@ -69,6 +76,13 @@ func main() {
 	opts.Method = m
 
 	p := snowboard.NewPipeline(opts)
+	if *stateDir != "" {
+		st, err := snowboard.OpenStore(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.UseStore(st)
+	}
 	r := p.NewReport()
 	p.BuildCorpus(r)
 	if err := p.ProfileAll(r); err != nil {
@@ -78,17 +92,38 @@ func main() {
 	cts := p.GenerateTests(r, *tests)
 	diag.Printf("corpus=%d pmcs=%d generated=%d concurrent tests", r.CorpusSize, r.DistinctPMCs, len(cts))
 
+	// With a store attached, jobs reference the persisted corpus artifact by
+	// digest instead of inlining both programs.
+	corpusDigest := ""
+	if *stateDir != "" {
+		corpusDigest, _, _ = p.ArtifactDigests()
+		if corpusDigest == "" {
+			diag.Printf("warning: corpus artifact not persisted; falling back to inline jobs")
+		} else {
+			diag.Printf("jobs reference corpus artifact %.12s…; workers need -state %s", corpusDigest, *stateDir)
+		}
+	}
+
 	q := queue.New()
 	srv, err := queue.Serve(q, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	diag.Printf("queue listening on %s — start workers with: sbexec -addr %s -version %s",
-		srv.Addr(), srv.Addr(), *version)
+	hint := ""
+	if corpusDigest != "" {
+		hint = " -state " + *stateDir
+	}
+	diag.Printf("queue listening on %s — start workers with: sbexec -addr %s -version %s%s",
+		srv.Addr(), srv.Addr(), *version, hint)
 
 	for i, ct := range cts {
-		job := queue.Job{ID: i, Writer: ct.Writer, Reader: ct.Reader, Hint: ct.Hint, Pair: ct.Pair}
+		job := queue.Job{ID: i, Hint: ct.Hint, Pair: ct.Pair}
+		if corpusDigest != "" {
+			job.Corpus = corpusDigest
+		} else {
+			job.Writer, job.Reader = ct.Writer, ct.Reader
+		}
 		if err := q.Push(job); err != nil {
 			log.Fatal(err)
 		}

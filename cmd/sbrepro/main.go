@@ -8,6 +8,13 @@
 //
 //	sbrepro -bundle finding.json [-quiet]
 //	sbrepro [-workers 0] [-quiet] finding1.json finding2.json ...
+//	sbrepro -state dir [-report <digest>] [-quiet]
+//
+// With -state, sbrepro replays straight out of the content-addressed
+// artifact store written by snowboard -state: -report names a stored report
+// artifact by (a prefix of) its hex digest, and every crash-level finding
+// in it that recorded a replayable trial is replayed. With -state and no
+// -report, the stored report digests are listed.
 //
 // Several bundles replay in parallel (one simulated kernel per worker)
 // but print in argument order; replay itself is deterministic, so the
@@ -19,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -36,12 +44,18 @@ import (
 
 func main() {
 	var (
-		path    = flag.String("bundle", "", "path to a reproduction bundle (JSON); positional arguments add more")
-		workers = flag.Int("workers", 0, "parallel replay goroutines (0 = one per CPU); output order is unaffected")
-		quiet   = flag.Bool("quiet", false, "suppress the interleaving diagram")
+		path     = flag.String("bundle", "", "path to a reproduction bundle (JSON); positional arguments add more")
+		workers  = flag.Int("workers", 0, "parallel replay goroutines (0 = one per CPU); output order is unaffected")
+		quiet    = flag.Bool("quiet", false, "suppress the interleaving diagram")
+		stateDir = flag.String("state", "", "artifact store directory: replay findings from a stored report instead of bundles")
+		reportD  = flag.String("report", "", "hex digest (or unique prefix) of the stored report to replay; empty lists stored reports")
 	)
 	flag.Parse()
 	obs.Diag.SetPrefix("sbrepro")
+
+	if *stateDir != "" {
+		os.Exit(replayStore(*stateDir, *reportD, *workers, *quiet))
+	}
 
 	paths := flag.Args()
 	if *path != "" {
@@ -93,10 +107,17 @@ func replayBundle(w *strings.Builder, path string, quiet bool) (stale bool, err 
 		fmt.Fprintf(w, ", Table 2 issue #%d", b.BugID)
 	}
 	fmt.Fprintln(w, ")")
+	ct := sched.ConcurrentTest{Writer: b.Writer, Reader: b.Reader, Hint: b.Hint}
+	return replayState(w, b.Version, ct, b.State, quiet), nil
+}
 
-	env := snowboard.NewEnv(b.Version)
+// replayState re-executes one recorded bug-exposing trial and renders the
+// console, findings, and (unless quiet) the interleaving diagram into w.
+// It returns true when the replay surfaced no harmful finding.
+func replayState(w *strings.Builder, version snowboard.Version, ct sched.ConcurrentTest, st *sched.ReproState, quiet bool) (stale bool) {
+	env := snowboard.NewEnv(version)
 	var tr trace.Trace
-	res := sched.Replay(env, sched.ConcurrentTest{Writer: b.Writer, Reader: b.Reader, Hint: b.Hint}, b.State, &tr)
+	res := sched.Replay(env, ct, st, &tr)
 	env.M.SetTrace(nil)
 
 	issues := detect.Analyze(detect.TrialInput{
@@ -121,7 +142,86 @@ func replayBundle(w *strings.Builder, path string, quiet bool) (stale bool, err 
 	}
 	if !quiet {
 		fmt.Fprintln(w)
-		fmt.Fprintln(w, diagnose.Render(&tr, b.Hint, issues, diagnose.DefaultOptions()))
+		fmt.Fprintln(w, diagnose.Render(&tr, ct.Hint, issues, diagnose.DefaultOptions()))
 	}
-	return !res.Crashed() && detect.Harmless(issues), nil
+	return !res.Crashed() && detect.Harmless(issues)
+}
+
+// replayStore replays every crash-level finding of a stored report artifact
+// that recorded a replayable trial, or lists the stored reports when no
+// digest is given. Returns the process exit code.
+func replayStore(dir, digestPrefix string, workers int, quiet bool) int {
+	st, err := snowboard.OpenStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports := st.List(snowboard.KindReport)
+	if digestPrefix == "" {
+		if len(reports) == 0 {
+			fmt.Printf("no report artifacts in %s — produce one with: snowboard -state %s\n", dir, dir)
+			return 2
+		}
+		fmt.Printf("report artifacts in %s (replay with -report <digest>):\n", dir)
+		for _, d := range reports {
+			fmt.Printf("  %s\n", d)
+		}
+		return 0
+	}
+	var match []snowboard.Digest
+	for _, d := range reports {
+		if strings.HasPrefix(d.String(), digestPrefix) {
+			match = append(match, d)
+		}
+	}
+	switch {
+	case len(match) == 0:
+		log.Fatalf("no report artifact matching %q in %s (run without -report to list)", digestPrefix, dir)
+	case len(match) > 1:
+		log.Fatalf("digest prefix %q is ambiguous: %d matches", digestPrefix, len(match))
+	}
+	payload, err := st.Get(snowboard.KindReport, match[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var r snowboard.Report
+	if err := json.Unmarshal(payload, &r); err != nil {
+		log.Fatalf("report artifact %s: %v", match[0].Short(), err)
+	}
+
+	var recIDs []int
+	for _, id := range r.BugIDs() {
+		if r.Issues[id].Repro == nil {
+			obs.Diag.Printf("issue #%d has no recorded replayable trial; skipping", id)
+			continue
+		}
+		recIDs = append(recIDs, id)
+	}
+	if len(recIDs) == 0 {
+		fmt.Printf("report %s: no replayable findings\n", match[0].Short())
+		return 1
+	}
+
+	type replayOut struct {
+		text  string
+		stale bool
+	}
+	outs := par.Map(par.Workers(workers), len(recIDs), func(_, i int) replayOut {
+		rec := r.Issues[recIDs[i]]
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "replaying report %s issue #%d (kernel %s)\n", match[0].Short(), recIDs[i], r.Version)
+		stale := replayState(&sb, r.Version, rec.Test, rec.Repro, quiet)
+		return replayOut{text: sb.String(), stale: stale}
+	})
+	exit := 0
+	for i, out := range outs {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(out.text)
+		if out.stale {
+			obs.Diag.Printf("warning: replay of issue #%d surfaced no harmful finding — stored trial may be stale", recIDs[i])
+			exit = 1
+		}
+	}
+	return exit
 }

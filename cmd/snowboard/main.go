@@ -46,6 +46,7 @@ func main() {
 		tests    = flag.Int("tests", 60, "concurrent tests to execute")
 		trials   = flag.Int("trials", 16, "interleaving trials per concurrent test")
 		workers  = flag.Int("workers", 0, "parallel worker goroutines per stage (0 = one per CPU); results are identical for any value")
+		stateDir = flag.String("state", "", "artifact store directory: persist every stage's output and resume from unchanged stages on re-run")
 		compare  = flag.Bool("compare", false, "legacy alias for -mode compare")
 		jsonOut  = flag.Bool("json", false, "emit the final report as JSON on stdout")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
@@ -73,6 +74,7 @@ func main() {
 	opts.TestBudget = *tests
 	opts.Trials = *trials
 	opts.Workers = *workers
+	opts.StateDir = *stateDir
 
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

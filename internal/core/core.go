@@ -92,6 +92,14 @@ type Options struct {
 	// seeds are derived from (Seed, stage, unit index), never drawn from
 	// a shared rng.
 	Workers int
+
+	// StateDir, when non-empty, roots a content-addressed artifact store
+	// that memoizes every stage: re-running with equivalent options
+	// resumes at the first stage whose inputs changed, and several
+	// methods (Table 3 comparisons) share one corpus/profile/PMC set
+	// instead of recomputing them. Like Workers, StateDir never changes
+	// what a run computes — only whether stages execute or load.
+	StateDir string
 }
 
 // DefaultOptions returns a laptop-scale configuration.
@@ -165,6 +173,10 @@ type Report struct {
 	// Findings.
 	Issues  map[int]IssueRecord // Table 2 bug id -> first-discovery record
 	Unknown []detect.Issue      // findings not matching Table 2
+
+	// Notes records degraded-mode decisions (e.g. generation skipped on an
+	// empty corpus) so machine consumers see them alongside the counters.
+	Notes []string `json:",omitempty"`
 
 	// Metrics is the process-wide obs registry frozen when the run
 	// finished (set by Run / CaptureMetrics); nil if never captured.

@@ -15,6 +15,7 @@ import (
 	"snowboard/internal/par"
 	"snowboard/internal/pmc"
 	"snowboard/internal/sched"
+	"snowboard/internal/store"
 	"snowboard/internal/trace"
 )
 
@@ -52,6 +53,14 @@ type Pipeline struct {
 	// fresh — but deterministic — seeds, like the old shared rng did.
 	genCalls     int
 	exploreUnits int
+
+	// store, when attached with UseStore, memoizes stages through the
+	// content-addressed artifact store; the digests track the content
+	// addresses of the current artifacts (zero = not yet computed).
+	store          *store.Store
+	corpusDigest   store.Digest
+	profilesDigest store.Digest
+	pmcDigest      store.Digest
 }
 
 // NewPipeline boots the simulated kernel for the configured version.
@@ -80,19 +89,36 @@ func (p *Pipeline) workerEnvs(n int) []*exec.Env {
 func (p *Pipeline) workers() int { return par.Workers(p.Opts.Workers) }
 
 // BuildCorpus runs the fuzzing campaign (stage 1a), sharded across the
-// worker environments.
+// worker environments. With a store attached, a previous run's corpus for
+// the same (version, seed, budget, cap) is loaded instead and the campaign
+// is skipped.
 func (p *Pipeline) BuildCorpus(r *Report) {
 	span := obs.StartSpan("stage.fuzz", obs.A("budget", p.Opts.FuzzBudget), obs.A("workers", p.workers()))
+	if p.store != nil {
+		if p.loadCorpusStage(r) {
+			mStoreHits.Inc()
+			span.End(obs.A("cache", "hit"), obs.A("corpus", r.CorpusSize))
+			return
+		}
+		mStoreMisses.Inc()
+	}
 	res := fuzz.CampaignSharded(p.workerEnvs(p.workers()), p.Opts.Seed, p.Opts.FuzzBudget, p.Opts.CorpusCap)
 	p.Corpus = res.Corpus
+	p.corpusDigest = store.Digest{}
 	r.CorpusSize = p.Corpus.Len()
 	r.FuzzExecutions = res.Executed
 	r.FuzzTime = span.End(obs.A("executed", res.Executed), obs.A("corpus", r.CorpusSize))
+	if p.store != nil {
+		p.saveCorpusStage(r)
+	}
 }
 
 // SetCorpus installs an externally built corpus (e.g. shared across the
 // strategy-comparison benchmarks).
-func (p *Pipeline) SetCorpus(c *corpus.Corpus) { p.Corpus = c }
+func (p *Pipeline) SetCorpus(c *corpus.Corpus) {
+	p.Corpus = c
+	p.corpusDigest = store.Digest{}
+}
 
 // ProfileAll records the shared-memory access set of every corpus test
 // from the fixed snapshot (stage 1b), one test per work unit across the
@@ -101,6 +127,20 @@ func (p *Pipeline) SetCorpus(c *corpus.Corpus) { p.Corpus = c }
 // one is reported, as serially.
 func (p *Pipeline) ProfileAll(r *Report) error {
 	span := obs.StartSpan("stage.profile", obs.A("tests", p.Corpus.Len()), obs.A("workers", p.workers()))
+	var corpusDigest store.Digest
+	if p.store != nil {
+		var err error
+		if corpusDigest, err = p.ensureCorpusDigest(); err == nil {
+			if p.loadProfileStage(r, corpusDigest) {
+				mStoreHits.Inc()
+				span.End(obs.A("cache", "hit"), obs.A("accesses", r.ProfiledAccesses))
+				return nil
+			}
+		} else {
+			obs.Diag.Printf("stage profile: corpus digest: %v", err)
+		}
+		mStoreMisses.Inc()
+	}
 	envs := p.workerEnvs(p.workers())
 	type profiled struct {
 		accs    []trace.Access
@@ -116,33 +156,63 @@ func (p *Pipeline) ProfileAll(r *Report) error {
 		return profiled{accs: accs, df: df}
 	})
 	p.Profiles = p.Profiles[:0]
+	p.profilesDigest = store.Digest{}
+	accesses := 0
 	for i, u := range units {
 		if u.crashed {
 			span.End(obs.A("crashed_test", i))
 			return fmt.Errorf("core: corpus test %d crashed during profiling: %v", i, u.faults)
 		}
 		p.Profiles = append(p.Profiles, pmc.Profile{TestID: i, Accesses: u.accs, DFLeader: u.df})
-		r.ProfiledAccesses += len(u.accs)
+		accesses += len(u.accs)
 	}
+	r.ProfiledAccesses += accesses
 	r.ProfileTime = span.End(obs.A("accesses", r.ProfiledAccesses))
+	if p.store != nil && !corpusDigest.IsZero() {
+		p.saveProfileStage(corpusDigest, accesses, r.ProfileTime)
+	}
 	return nil
 }
 
 // SetProfiles installs externally computed profiles.
-func (p *Pipeline) SetProfiles(profiles []pmc.Profile) { p.Profiles = profiles }
+func (p *Pipeline) SetProfiles(profiles []pmc.Profile) {
+	p.Profiles = profiles
+	p.profilesDigest = store.Digest{}
+}
 
 // IdentifyPMCs runs Algorithm 1 over the profiles (stage 2), sharded by
 // reader profile.
 func (p *Pipeline) IdentifyPMCs(r *Report) {
 	span := obs.StartSpan("stage.identify", obs.A("profiles", len(p.Profiles)))
+	var profilesDigest store.Digest
+	if p.store != nil {
+		var err error
+		if profilesDigest, err = p.ensureProfilesDigest(); err == nil {
+			if p.loadIdentifyStage(r, profilesDigest) {
+				mStoreHits.Inc()
+				span.End(obs.A("cache", "hit"), obs.A("pmcs", r.DistinctPMCs))
+				return
+			}
+		} else {
+			obs.Diag.Printf("stage identify: profiles digest: %v", err)
+		}
+		mStoreMisses.Inc()
+	}
 	p.PMCs = pmc.IdentifyParallel(p.Profiles, p.Opts.PMC, p.workers())
+	p.pmcDigest = store.Digest{}
 	r.DistinctPMCs = p.PMCs.Len()
 	r.PMCCombinations = p.PMCs.TotalCombinations
 	r.IdentifyTime = span.End(obs.A("pmcs", r.DistinctPMCs))
+	if p.store != nil && !profilesDigest.IsZero() {
+		p.saveIdentifyStage(r, profilesDigest)
+	}
 }
 
 // SetPMCs installs an externally identified PMC set.
-func (p *Pipeline) SetPMCs(s *pmc.Set) { p.PMCs = s }
+func (p *Pipeline) SetPMCs(s *pmc.Set) {
+	p.PMCs = s
+	p.pmcDigest = store.Digest{}
+}
 
 // GenerateTests produces up to budget concurrent tests under the
 // configured method (stage 3). For PMC methods it clusters, orders
@@ -154,6 +224,16 @@ func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
 	span := obs.StartSpan("stage.generate", obs.A("method", p.Opts.Method.Name))
 	rng := rand.New(rand.NewSource(par.UnitSeed(p.Opts.Seed, par.StageGenerate, p.genCalls)))
 	p.genCalls++
+	if p.Corpus == nil || p.Corpus.Len() == 0 {
+		// An exhausted fuzz budget can legitimately select zero programs;
+		// the pairing arms below index the corpus, so bail out with a
+		// diagnostic instead of panicking in rng.Intn(0).
+		note := fmt.Sprintf("generation skipped: empty corpus (method %s)", p.Opts.Method.Name)
+		obs.Diag.Printf("stage generate: %s", note)
+		r.Notes = append(r.Notes, note)
+		span.End(obs.A("generated", 0), obs.A("empty_corpus", true))
+		return nil
+	}
 	var out []sched.ConcurrentTest
 	defer func() {
 		mGenTests.Add(int64(len(out)))
@@ -229,6 +309,10 @@ func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
 		seeds[i] = par.UnitSeed(p.Opts.Seed, par.StageExplore, p.exploreUnits+i)
 	}
 	p.exploreUnits += len(tests)
+	unknownSeen := make(map[string]struct{}, len(r.Unknown))
+	for _, u := range r.Unknown {
+		unknownSeen[u.ID()] = struct{}{}
+	}
 	outs := fleet.ExploreAll(tests, seeds)
 	for i, out := range outs {
 		ct := tests[i]
@@ -265,14 +349,8 @@ func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
 				r.Issues[is.BugID] = rec
 				continue
 			}
-			dup := false
-			for _, u := range r.Unknown {
-				if u.ID() == is.ID() {
-					dup = true
-					break
-				}
-			}
-			if !dup {
+			if _, dup := unknownSeen[is.ID()]; !dup {
+				unknownSeen[is.ID()] = struct{}{}
 				r.Unknown = append(r.Unknown, is)
 			}
 		}
@@ -291,18 +369,38 @@ func crashLevel(k detect.IssueKind) bool {
 	return false
 }
 
-// Run executes the full pipeline.
+// Run executes the full pipeline. With Options.StateDir set, every stage
+// memoizes through the content-addressed artifact store rooted there: a
+// re-run with equivalent options resumes at the first stage whose inputs
+// changed, and a fully cached run returns the stored report verbatim.
 func Run(opts Options) (*Report, error) {
 	p := NewPipeline(opts)
+	if opts.StateDir != "" {
+		s, err := store.Open(opts.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		p.UseStore(s)
+	}
 	r := p.NewReport()
 	p.BuildCorpus(r)
 	if err := p.ProfileAll(r); err != nil {
 		return nil, err
 	}
 	p.IdentifyPMCs(r)
+	if p.store != nil {
+		if cached, ok := p.loadReportStage(opts.TestBudget); ok {
+			mStoreHits.Inc()
+			return cached, nil
+		}
+		mStoreMisses.Inc()
+	}
 	tests := p.GenerateTests(r, opts.TestBudget)
 	p.ExecuteTests(r, tests)
 	r.CaptureMetrics()
+	if p.store != nil {
+		p.saveReportStage(r, opts.TestBudget)
+	}
 	return r, nil
 }
 

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"snowboard/internal/corpus"
+	"snowboard/internal/obs"
+	"snowboard/internal/pmc"
+	"snowboard/internal/store"
+	"snowboard/internal/trace"
+)
+
+// Stage-graph memoization over the content-addressed artifact store.
+//
+// Each pipeline stage is a pure, bit-identical function of (input
+// artifacts, the Options fields that matter to it, seed) — the determinism
+// contract internal/par established. So every stage declares a key: a
+// digest over its name, codec versions, input artifact digests, and
+// relevant option fields. Before running, the stage looks the key up in
+// the store; on a hit it decodes the stored output artifact and restores
+// its report fragment instead of executing. On a miss (or a corrupt
+// artifact, which is diagnosed and treated as a miss) it runs, persists
+// the output artifact and a memo entry, and the next invocation — in this
+// process or any other — resumes from it.
+//
+// What is deliberately NOT in any key: Options.Workers (a pure performance
+// knob; reports are bit-identical at any worker count) and Options.StateDir
+// itself. What is: seed, fuzz budget, corpus cap, kernel version, PMC
+// options, generation method, test budget, trials, and detector options —
+// changing any of those must invalidate exactly the stages it feeds.
+//
+// The dependency chain is digest-linked, not flag-linked: the profile key
+// includes the *content digest* of the corpus, so two different fuzz
+// budgets that happen to select the same corpus share one profile artifact
+// — exactly how the paper reused one 40-hour profile corpus across all
+// eleven Table 3 generation strategies.
+
+// Stage-cache metrics.
+var (
+	mStoreHits   = obs.C(obs.MStoreHits)
+	mStoreMisses = obs.C(obs.MStoreMisses)
+)
+
+// UseStore attaches an artifact store; subsequent stage runs memoize
+// through it. Attach before running any stage.
+func (p *Pipeline) UseStore(s *store.Store) { p.store = s }
+
+// ArtifactStore returns the attached store (nil when running in-memory).
+func (p *Pipeline) ArtifactStore() *store.Store { return p.store }
+
+// keyPrefix versions the whole key schema; bump to orphan every memo
+// entry at once.
+const keyPrefix = "snowboard-stage-v1"
+
+// fuzzKey identifies the fuzzing campaign output.
+func (p *Pipeline) fuzzKey() store.Digest {
+	return store.Key(keyPrefix, "fuzz",
+		fmt.Sprintf("corpus-codec=%d", corpus.CodecVersion),
+		fmt.Sprintf("version=%s", p.Opts.Version),
+		fmt.Sprintf("seed=%d", p.Opts.Seed),
+		fmt.Sprintf("budget=%d", p.Opts.FuzzBudget),
+		fmt.Sprintf("cap=%d", p.Opts.CorpusCap),
+	)
+}
+
+// profileKey identifies the profiling output for a given corpus.
+func (p *Pipeline) profileKey(corpusDigest store.Digest) store.Digest {
+	return store.Key(keyPrefix, "profile",
+		fmt.Sprintf("profiles-codec=%d", pmc.ProfilesCodecVersion),
+		fmt.Sprintf("trace-codec=%d", trace.CodecVersion),
+		fmt.Sprintf("version=%s", p.Opts.Version),
+		"corpus="+corpusDigest.String(),
+	)
+}
+
+// identifyKey identifies the Algorithm 1 output for a given profile set.
+func (p *Pipeline) identifyKey(profilesDigest store.Digest) store.Digest {
+	return store.Key(keyPrefix, "identify",
+		fmt.Sprintf("set-codec=%d", pmc.SetCodecVersion),
+		"profiles="+profilesDigest.String(),
+		fmt.Sprintf("self-pairs=%t", p.Opts.PMC.AllowSelfPairs),
+		fmt.Sprintf("skip-value-filter=%t", p.Opts.PMC.SkipValueFilter),
+	)
+}
+
+// reportKey identifies the generate+execute output (the full report) for a
+// given corpus and PMC set.
+func (p *Pipeline) reportKey(corpusDigest, pmcDigest store.Digest, budget int) store.Digest {
+	m := p.Opts.Method
+	d := p.Opts.Detect
+	return store.Key(keyPrefix, "execute",
+		"corpus="+corpusDigest.String(),
+		"pmcs="+pmcDigest.String(),
+		fmt.Sprintf("version=%s", p.Opts.Version),
+		fmt.Sprintf("seed=%d", p.Opts.Seed),
+		fmt.Sprintf("method=%d/%s/%s/%d", m.Kind, m.Name, m.Strategy.Name, m.Order),
+		fmt.Sprintf("budget=%d", budget),
+		fmt.Sprintf("trials=%d", p.Opts.Trials),
+		fmt.Sprintf("detect=%t/%t/%t/%d", d.Console, d.Races, d.TornReads, d.RaceMode),
+		fmt.Sprintf("no-incidental=%t", p.Opts.DisableIncidental),
+	)
+}
+
+// Per-stage report fragments persisted in the memo entry, so a cache hit
+// restores exactly the counters and timings the producing run measured and
+// warm reports stay deep-equal to cold ones.
+type fuzzMeta struct {
+	CorpusSize     int   `json:"corpus_size"`
+	FuzzExecutions int   `json:"fuzz_executions"`
+	FuzzTimeNs     int64 `json:"fuzz_time_ns"`
+}
+
+type profileMeta struct {
+	ProfiledAccesses int   `json:"profiled_accesses"`
+	ProfileTimeNs    int64 `json:"profile_time_ns"`
+}
+
+type identifyMeta struct {
+	DistinctPMCs    int   `json:"distinct_pmcs"`
+	PMCCombinations int64 `json:"pmc_combinations"`
+	IdentifyTimeNs  int64 `json:"identify_time_ns"`
+}
+
+// loadStage resolves one stage memo entry and its output artifact payload.
+// Any failure below a clean miss — corrupt memo, missing artifact, corrupt
+// artifact — is diagnosed on stderr and reported as a miss so the caller
+// transparently re-runs the stage.
+func (p *Pipeline) loadStage(name string, key store.Digest, kind store.Kind) (payload []byte, meta json.RawMessage, out store.Digest, ok bool) {
+	res, err := p.store.GetStage(key)
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			obs.Diag.Printf("stage %s: discarding unreadable memo entry: %v", name, err)
+		}
+		return nil, nil, store.Digest{}, false
+	}
+	payload, err = p.store.Get(kind, res.Out)
+	if err != nil {
+		obs.Diag.Printf("stage %s: discarding artifact %s: %v", name, res.Out.Short(), err)
+		return nil, nil, store.Digest{}, false
+	}
+	return payload, res.Meta, res.Out, true
+}
+
+// saveStage persists one stage's output artifact and memo entry. Store
+// failures (disk full, permissions) degrade to a warning: the run's
+// results are unaffected, only resumability is lost.
+func (p *Pipeline) saveStage(name string, key store.Digest, kind store.Kind, payload []byte, meta any) store.Digest {
+	d, err := p.store.Put(kind, payload)
+	if err != nil {
+		obs.Diag.Printf("stage %s: persist artifact: %v", name, err)
+		return store.Digest{}
+	}
+	var rawMeta json.RawMessage
+	if meta != nil {
+		rawMeta, err = json.Marshal(meta)
+		if err != nil {
+			obs.Diag.Printf("stage %s: persist meta: %v", name, err)
+			return d
+		}
+	}
+	if err := p.store.PutStage(key, store.StageResult{Kind: kind, Out: d, Meta: rawMeta}); err != nil {
+		obs.Diag.Printf("stage %s: persist memo: %v", name, err)
+	}
+	return d
+}
+
+// loadCorpusStage attempts a fuzz-stage cache hit.
+func (p *Pipeline) loadCorpusStage(r *Report) bool {
+	payload, rawMeta, out, ok := p.loadStage("fuzz", p.fuzzKey(), store.KindCorpus)
+	if !ok {
+		return false
+	}
+	c, err := corpus.DecodeCorpus(bytes.NewReader(payload))
+	if err != nil {
+		obs.Diag.Printf("stage fuzz: discarding undecodable corpus artifact %s: %v", out.Short(), err)
+		return false
+	}
+	var meta fuzzMeta
+	if err := json.Unmarshal(rawMeta, &meta); err != nil {
+		obs.Diag.Printf("stage fuzz: discarding memo with bad meta: %v", err)
+		return false
+	}
+	p.Corpus = c
+	p.corpusDigest = out
+	r.CorpusSize = meta.CorpusSize
+	r.FuzzExecutions = meta.FuzzExecutions
+	r.FuzzTime = time.Duration(meta.FuzzTimeNs)
+	obs.Diag.Printf("stage fuzz: cache hit (corpus %s, %d tests)", out.Short(), c.Len())
+	return true
+}
+
+// saveCorpusStage persists the fuzz stage output.
+func (p *Pipeline) saveCorpusStage(r *Report) {
+	var buf bytes.Buffer
+	if err := corpus.EncodeCorpus(&buf, p.Corpus); err != nil {
+		obs.Diag.Printf("stage fuzz: encode corpus: %v", err)
+		return
+	}
+	p.corpusDigest = p.saveStage("fuzz", p.fuzzKey(), store.KindCorpus, buf.Bytes(), fuzzMeta{
+		CorpusSize:     r.CorpusSize,
+		FuzzExecutions: r.FuzzExecutions,
+		FuzzTimeNs:     int64(r.FuzzTime),
+	})
+}
+
+// loadProfileStage attempts a profile-stage cache hit for corpusDigest.
+func (p *Pipeline) loadProfileStage(r *Report, corpusDigest store.Digest) bool {
+	payload, rawMeta, out, ok := p.loadStage("profile", p.profileKey(corpusDigest), store.KindProfiles)
+	if !ok {
+		return false
+	}
+	profiles, err := pmc.DecodeProfiles(bytes.NewReader(payload))
+	if err != nil {
+		obs.Diag.Printf("stage profile: discarding undecodable profile artifact %s: %v", out.Short(), err)
+		return false
+	}
+	var meta profileMeta
+	if err := json.Unmarshal(rawMeta, &meta); err != nil {
+		obs.Diag.Printf("stage profile: discarding memo with bad meta: %v", err)
+		return false
+	}
+	p.Profiles = profiles
+	p.profilesDigest = out
+	r.ProfiledAccesses += meta.ProfiledAccesses
+	r.ProfileTime = time.Duration(meta.ProfileTimeNs)
+	obs.Diag.Printf("stage profile: cache hit (profiles %s, %d tests)", out.Short(), len(profiles))
+	return true
+}
+
+// saveProfileStage persists the profile stage output.
+func (p *Pipeline) saveProfileStage(corpusDigest store.Digest, accesses int, dur time.Duration) {
+	var buf bytes.Buffer
+	if err := pmc.EncodeProfiles(&buf, p.Profiles); err != nil {
+		obs.Diag.Printf("stage profile: encode profiles: %v", err)
+		return
+	}
+	p.profilesDigest = p.saveStage("profile", p.profileKey(corpusDigest), store.KindProfiles, buf.Bytes(), profileMeta{
+		ProfiledAccesses: accesses,
+		ProfileTimeNs:    int64(dur),
+	})
+}
+
+// loadIdentifyStage attempts an identify-stage cache hit for
+// profilesDigest.
+func (p *Pipeline) loadIdentifyStage(r *Report, profilesDigest store.Digest) bool {
+	payload, rawMeta, out, ok := p.loadStage("identify", p.identifyKey(profilesDigest), store.KindPMCs)
+	if !ok {
+		return false
+	}
+	set, err := pmc.DecodeSet(bytes.NewReader(payload))
+	if err != nil {
+		obs.Diag.Printf("stage identify: discarding undecodable PMC artifact %s: %v", out.Short(), err)
+		return false
+	}
+	var meta identifyMeta
+	if err := json.Unmarshal(rawMeta, &meta); err != nil {
+		obs.Diag.Printf("stage identify: discarding memo with bad meta: %v", err)
+		return false
+	}
+	p.PMCs = set
+	p.pmcDigest = out
+	r.DistinctPMCs = meta.DistinctPMCs
+	r.PMCCombinations = meta.PMCCombinations
+	r.IdentifyTime = time.Duration(meta.IdentifyTimeNs)
+	obs.Diag.Printf("stage identify: cache hit (pmcs %s, %d keys)", out.Short(), set.Len())
+	return true
+}
+
+// saveIdentifyStage persists the identify stage output.
+func (p *Pipeline) saveIdentifyStage(r *Report, profilesDigest store.Digest) {
+	var buf bytes.Buffer
+	if err := pmc.EncodeSet(&buf, p.PMCs); err != nil {
+		obs.Diag.Printf("stage identify: encode PMC set: %v", err)
+		return
+	}
+	p.pmcDigest = p.saveStage("identify", p.identifyKey(profilesDigest), store.KindPMCs, buf.Bytes(), identifyMeta{
+		DistinctPMCs:    r.DistinctPMCs,
+		PMCCombinations: r.PMCCombinations,
+		IdentifyTimeNs:  int64(r.IdentifyTime),
+	})
+}
+
+// ensureCorpusDigest returns the content digest of the current corpus,
+// encoding and persisting the artifact if it is not yet known (e.g. the
+// corpus was installed with SetCorpus rather than built by BuildCorpus).
+func (p *Pipeline) ensureCorpusDigest() (store.Digest, error) {
+	if !p.corpusDigest.IsZero() {
+		return p.corpusDigest, nil
+	}
+	if p.Corpus == nil {
+		return store.Digest{}, errors.New("core: no corpus")
+	}
+	var buf bytes.Buffer
+	if err := corpus.EncodeCorpus(&buf, p.Corpus); err != nil {
+		return store.Digest{}, err
+	}
+	d, err := p.store.Put(store.KindCorpus, buf.Bytes())
+	if err != nil {
+		return store.Digest{}, err
+	}
+	p.corpusDigest = d
+	return d, nil
+}
+
+// ensureProfilesDigest mirrors ensureCorpusDigest for the profile set.
+func (p *Pipeline) ensureProfilesDigest() (store.Digest, error) {
+	if !p.profilesDigest.IsZero() {
+		return p.profilesDigest, nil
+	}
+	var buf bytes.Buffer
+	if err := pmc.EncodeProfiles(&buf, p.Profiles); err != nil {
+		return store.Digest{}, err
+	}
+	d, err := p.store.Put(store.KindProfiles, buf.Bytes())
+	if err != nil {
+		return store.Digest{}, err
+	}
+	p.profilesDigest = d
+	return d, nil
+}
+
+// ensurePMCDigest mirrors ensureCorpusDigest for the PMC set.
+func (p *Pipeline) ensurePMCDigest() (store.Digest, error) {
+	if !p.pmcDigest.IsZero() {
+		return p.pmcDigest, nil
+	}
+	if p.PMCs == nil {
+		return store.Digest{}, errors.New("core: no PMC set")
+	}
+	var buf bytes.Buffer
+	if err := pmc.EncodeSet(&buf, p.PMCs); err != nil {
+		return store.Digest{}, err
+	}
+	d, err := p.store.Put(store.KindPMCs, buf.Bytes())
+	if err != nil {
+		return store.Digest{}, err
+	}
+	p.pmcDigest = d
+	return d, nil
+}
+
+// loadReportStage attempts a full generate+execute cache hit: on success
+// the stored report — findings, timings, frozen metrics and all — is
+// returned verbatim.
+func (p *Pipeline) loadReportStage(budget int) (*Report, bool) {
+	cd, err := p.ensureCorpusDigest()
+	if err != nil {
+		return nil, false
+	}
+	pd, err := p.ensurePMCDigest()
+	if err != nil {
+		return nil, false
+	}
+	payload, _, out, ok := p.loadStage("execute", p.reportKey(cd, pd, budget), store.KindReport)
+	if !ok {
+		return nil, false
+	}
+	var r Report
+	if err := json.Unmarshal(payload, &r); err != nil {
+		obs.Diag.Printf("stage execute: discarding undecodable report artifact %s: %v", out.Short(), err)
+		return nil, false
+	}
+	if r.Issues == nil {
+		r.Issues = make(map[int]IssueRecord)
+	}
+	obs.Diag.Printf("stage execute: cache hit (report %s, %d issues)", out.Short(), len(r.Issues))
+	return &r, true
+}
+
+// saveReportStage persists the finished report.
+func (p *Pipeline) saveReportStage(r *Report, budget int) {
+	cd, err := p.ensureCorpusDigest()
+	if err != nil {
+		obs.Diag.Printf("stage execute: corpus digest: %v", err)
+		return
+	}
+	pd, err := p.ensurePMCDigest()
+	if err != nil {
+		obs.Diag.Printf("stage execute: PMC digest: %v", err)
+		return
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		obs.Diag.Printf("stage execute: encode report: %v", err)
+		return
+	}
+	d := p.saveStage("execute", p.reportKey(cd, pd, budget), store.KindReport, payload, nil)
+	if !d.IsZero() {
+		obs.Diag.Printf("stage execute: report artifact %s persisted", d.Short())
+	}
+}
+
+// ArtifactDigests reports the content digests of the pipeline's current
+// artifacts as hex strings (empty when unknown/not yet computed), for
+// composing tools: sbprofile prints them, sbexec resolves queue jobs
+// against them.
+func (p *Pipeline) ArtifactDigests() (corpusD, profilesD, pmcsD string) {
+	render := func(d store.Digest) string {
+		if d.IsZero() {
+			return ""
+		}
+		return d.String()
+	}
+	return render(p.corpusDigest), render(p.profilesDigest), render(p.pmcDigest)
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"snowboard/internal/obs"
+	"snowboard/internal/store"
+)
+
+// stateTestOptions is a small, fast configuration used by the resume tests.
+func stateTestOptions(t *testing.T) Options {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Seed = 5
+	opts.FuzzBudget = 60
+	opts.CorpusCap = 20
+	opts.TestBudget = 6
+	opts.Trials = 4
+	opts.StateDir = t.TempDir()
+	return opts
+}
+
+// normalizeMetrics strips the frozen metrics registry, which legitimately
+// differs between producing runs (process-global counters keep growing).
+func normalizeMetrics(r *Report) *Report {
+	c := *r
+	c.Metrics = nil
+	return &c
+}
+
+// normalizeTimings additionally zeroes wall-clock stage durations, for
+// comparisons between two *producing* runs (re-executed stages measure
+// fresh, slightly different times; everything else must be bit-identical).
+func normalizeTimings(r *Report) *Report {
+	c := normalizeMetrics(r)
+	c.FuzzTime, c.ProfileTime, c.IdentifyTime, c.ClusterTime, c.ExecTime = 0, 0, 0, 0, 0
+	return c
+}
+
+// counters reads the store stage-cache counters.
+func counters() (hits, misses int64) {
+	return obs.C(obs.MStoreHits).Value(), obs.C(obs.MStoreMisses).Value()
+}
+
+// TestResumeWarmEqualsCold is the golden resume test: a cold run persists
+// every stage, and a second Run with the same options — a fresh Pipeline,
+// same -state — hits every stage cache and returns a report deep-equal to
+// the cold one (byte-identical as JSON, metrics included, because the full
+// cache hit returns the stored report verbatim).
+func TestResumeWarmEqualsCold(t *testing.T) {
+	opts := stateTestOptions(t)
+
+	h0, m0 := counters()
+	cold, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := counters()
+	if hits := h1 - h0; hits != 0 {
+		t.Errorf("cold run recorded %d stage hits, want 0", hits)
+	}
+	if misses := m1 - m0; misses != 4 {
+		t.Errorf("cold run recorded %d stage misses, want 4 (fuzz, profile, identify, execute)", misses)
+	}
+
+	warm, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := counters()
+	if hits := h2 - h1; hits != 4 {
+		t.Errorf("warm run recorded %d stage hits, want 4", hits)
+	}
+	if misses := m2 - m1; misses != 0 {
+		t.Errorf("warm run recorded %d stage misses, want 0", misses)
+	}
+
+	if !reflect.DeepEqual(normalizeMetrics(warm), normalizeMetrics(cold)) {
+		t.Error("warm report differs from cold report")
+	}
+	coldJSON, err := json.Marshal(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := json.Marshal(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coldJSON) != string(warmJSON) {
+		t.Error("warm report JSON differs from cold report JSON")
+	}
+	if cold.TestedTests == 0 {
+		t.Error("cold run executed no tests; resume test is vacuous")
+	}
+}
+
+// TestResumeAcrossMethods: Table 3's methods share one corpus, profile set,
+// and PMC database — running a second method against the same state misses
+// only the generate+execute stage.
+func TestResumeAcrossMethods(t *testing.T) {
+	opts := stateTestOptions(t)
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	other, ok := MethodByName("Random pairing")
+	if !ok {
+		t.Fatal("method Random pairing not registered")
+	}
+	opts.Method = other
+	h0, m0 := counters()
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := counters()
+	if hits := h1 - h0; hits != 3 {
+		t.Errorf("second method recorded %d hits, want 3 (fuzz, profile, identify)", hits)
+	}
+	if misses := m1 - m0; misses != 1 {
+		t.Errorf("second method recorded %d misses, want 1 (execute)", misses)
+	}
+}
+
+// TestStageKeysWorkerInvariant pins the cache-invalidation contract:
+// Options.Workers and Options.StateDir are pure performance/placement knobs
+// and must not change any stage key; seed, fuzz budget, corpus cap, kernel
+// version, test budget, and trials must.
+func TestStageKeysWorkerInvariant(t *testing.T) {
+	base := DefaultOptions()
+	base.Seed = 9
+	mk := func(mut func(*Options)) *Pipeline {
+		opts := base
+		if mut != nil {
+			mut(&opts)
+		}
+		// Key derivation reads only Opts; skip the kernel boot.
+		return &Pipeline{Opts: opts}
+	}
+	ref := mk(nil)
+	cd := store.Key("some", "corpus")
+	pd := store.Key("some", "profiles")
+	sd := store.Key("some", "pmcs")
+	type keys struct{ fuzz, profile, identify, report store.Digest }
+	keysOf := func(p *Pipeline) keys {
+		return keys{p.fuzzKey(), p.profileKey(cd), p.identifyKey(pd), p.reportKey(cd, sd, base.TestBudget)}
+	}
+	refKeys := keysOf(ref)
+
+	for _, workers := range []int{0, 1, 4, 32} {
+		p := mk(func(o *Options) { o.Workers = workers; o.StateDir = "/somewhere/else" })
+		if keysOf(p) != refKeys {
+			t.Errorf("workers=%d changed a stage key; worker count must not invalidate caches", workers)
+		}
+	}
+
+	if mk(func(o *Options) { o.Seed++ }).fuzzKey() == refKeys.fuzz {
+		t.Error("seed change did not invalidate fuzz key")
+	}
+	if mk(func(o *Options) { o.FuzzBudget++ }).fuzzKey() == refKeys.fuzz {
+		t.Error("fuzz budget change did not invalidate fuzz key")
+	}
+	if mk(func(o *Options) { o.CorpusCap++ }).fuzzKey() == refKeys.fuzz {
+		t.Error("corpus cap change did not invalidate fuzz key")
+	}
+	other := mk(func(o *Options) { o.Version = "5.3.10" })
+	if other.fuzzKey() == refKeys.fuzz || other.profileKey(cd) == refKeys.profile {
+		t.Error("kernel version change did not invalidate fuzz/profile keys")
+	}
+	if mk(func(o *Options) { o.Trials++ }).reportKey(cd, sd, base.TestBudget) == refKeys.report {
+		t.Error("trials change did not invalidate report key")
+	}
+	if ref.reportKey(cd, sd, base.TestBudget+1) == refKeys.report {
+		t.Error("test budget change did not invalidate report key")
+	}
+	m, _ := MethodByName("Random pairing")
+	if mk(func(o *Options) { o.Method = m }).reportKey(cd, sd, base.TestBudget) == refKeys.report {
+		t.Error("method change did not invalidate report key")
+	}
+
+	// Digest-linked chaining: different input artifact content → different
+	// downstream keys.
+	if ref.profileKey(store.Key("other", "corpus")) == refKeys.profile {
+		t.Error("corpus content change did not invalidate profile key")
+	}
+	if ref.identifyKey(store.Key("other", "profiles")) == refKeys.identify {
+		t.Error("profiles content change did not invalidate identify key")
+	}
+}
+
+// TestResumeCorruptArtifacts: flipping bits in every stored object must
+// yield diagnostics and a transparent re-run — same report, no panic, and a
+// store that heals so the following run resumes cleanly again.
+func TestResumeCorruptArtifacts(t *testing.T) {
+	opts := stateTestOptions(t)
+	first, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	objects := filepath.Join(opts.StateDir, "objects")
+	damaged := 0
+	err = filepath.Walk(objects, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)/2] ^= 0x20
+		damaged++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged == 0 {
+		t.Fatal("no artifacts on disk to corrupt")
+	}
+
+	c0 := obs.C(obs.MStoreCorrupt).Value()
+	second, err := Run(opts)
+	if err != nil {
+		t.Fatalf("run over corrupted store failed: %v", err)
+	}
+	if got := obs.C(obs.MStoreCorrupt).Value() - c0; got == 0 {
+		t.Error("corruption went undetected (store.corrupt counter unchanged)")
+	}
+	if !reflect.DeepEqual(normalizeTimings(second), normalizeTimings(first)) {
+		t.Error("re-run over corrupted store produced a different report")
+	}
+
+	// The corrupt files were discarded and rewritten: the next run is warm.
+	h0, _ := counters()
+	third, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := counters(); hits-h0 != 4 {
+		t.Errorf("store did not heal: %d hits on post-corruption run, want 4", hits-h0)
+	}
+	if !reflect.DeepEqual(normalizeTimings(third), normalizeTimings(first)) {
+		t.Error("healed store returned a different report")
+	}
+}
+
+// TestResumeIgnoresTruncatedStore: an empty or half-written state directory
+// behaves like a cold start.
+func TestResumeIgnoresTruncatedStore(t *testing.T) {
+	opts := stateTestOptions(t)
+	// Pre-seed the store with a truncated stage memo under a random name to
+	// prove stray files are harmless.
+	if err := os.MkdirAll(filepath.Join(opts.StateDir, "stages"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	junk := filepath.Join(opts.StateDir, "stages", store.Key("junk").String())
+	if err := os.WriteFile(junk, []byte("SBAR\x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+}

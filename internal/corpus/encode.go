@@ -1,0 +1,167 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Compact binary serialization for whole corpora, the artifact the fuzz
+// stage persists into the content-addressed store. JSON (Marshal/Unmarshal)
+// stays the human-facing per-program form; this codec is the bulk form:
+// varint-coded, canonical (equal corpora encode to identical bytes, so
+// content addresses are stable), and hardened against hostile input (the
+// decoder validates structure and never panics).
+//
+// Layout:
+//
+//	magic "SBCO" | version u8 | nprogs uvarint | programs...
+//
+// Each program:
+//
+//	ncalls uvarint, then per call: nr uvarint | nargs uvarint, then per
+//	arg: kind u8 | value uvarint (literal for ConstArg, call index for
+//	ResultArg)
+
+const (
+	corpusMagic   = "SBCO"
+	corpusVersion = 1
+
+	// Sanity caps applied before allocation when decoding untrusted bytes.
+	maxProgs        = 1 << 22
+	maxCallsPerProg = 1 << 16
+	maxArgsPerCall  = 1 << 8
+)
+
+// CodecVersion identifies the corpus encoding; stage digests mix it in so a
+// format change invalidates stored artifacts instead of misdecoding them.
+const CodecVersion = corpusVersion
+
+// ErrBadCorpus reports a malformed serialized corpus.
+var ErrBadCorpus = errors.New("corpus: malformed encoding")
+
+// EncodeCorpus writes the corpus to w in the compact canonical format.
+func EncodeCorpus(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(corpusMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(corpusVersion); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := putU(uint64(len(c.Progs))); err != nil {
+		return err
+	}
+	for _, p := range c.Progs {
+		if err := putU(uint64(len(p.Calls))); err != nil {
+			return err
+		}
+		for _, call := range p.Calls {
+			if err := putU(uint64(call.Nr)); err != nil {
+				return err
+			}
+			if err := putU(uint64(len(call.Args))); err != nil {
+				return err
+			}
+			for _, a := range call.Args {
+				if err := bw.WriteByte(byte(a.Kind)); err != nil {
+					return err
+				}
+				v := a.Val
+				if a.Kind == ResultArg {
+					v = uint64(a.Ref)
+				}
+				if err := putU(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeCorpus parses a compact corpus, validating every program (syscall
+// numbers, argument counts, resource references) and rejecting duplicates,
+// so a successful decode reproduces the encoded corpus exactly — same
+// programs, same order, same dedup state.
+func DecodeCorpus(r io.Reader) (*Corpus, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCorpus, err)
+	}
+	if string(magic[:]) != corpusMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadCorpus, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != corpusVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadCorpus, ver)
+	}
+	nprogs, err := binary.ReadUvarint(br)
+	if err != nil || nprogs > maxProgs {
+		return nil, fmt.Errorf("%w: program count", ErrBadCorpus)
+	}
+	c := NewCorpus()
+	for pi := uint64(0); pi < nprogs; pi++ {
+		ncalls, err := binary.ReadUvarint(br)
+		if err != nil || ncalls > maxCallsPerProg {
+			return nil, fmt.Errorf("%w: prog %d: call count", ErrBadCorpus, pi)
+		}
+		capHint := ncalls // untrusted until calls arrive; clamp preallocation
+		if capHint > 1024 {
+			capHint = 1024
+		}
+		p := &Prog{Calls: make([]Call, 0, capHint)}
+		for ci := uint64(0); ci < ncalls; ci++ {
+			nr, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: prog %d call %d: nr", ErrBadCorpus, pi, ci)
+			}
+			nargs, err := binary.ReadUvarint(br)
+			if err != nil || nargs > maxArgsPerCall {
+				return nil, fmt.Errorf("%w: prog %d call %d: arg count", ErrBadCorpus, pi, ci)
+			}
+			call := Call{Nr: int(nr)}
+			if nargs > 0 {
+				call.Args = make([]Arg, 0, nargs)
+			}
+			for ai := uint64(0); ai < nargs; ai++ {
+				kind, err := br.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("%w: prog %d call %d arg %d: kind", ErrBadCorpus, pi, ci, ai)
+				}
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("%w: prog %d call %d arg %d: value", ErrBadCorpus, pi, ci, ai)
+				}
+				switch ArgKind(kind) {
+				case ConstArg:
+					call.Args = append(call.Args, Const(v))
+				case ResultArg:
+					if v > maxCallsPerProg {
+						return nil, fmt.Errorf("%w: prog %d call %d arg %d: ref", ErrBadCorpus, pi, ci, ai)
+					}
+					call.Args = append(call.Args, Result(int(v)))
+				default:
+					return nil, fmt.Errorf("%w: prog %d call %d arg %d: kind %d", ErrBadCorpus, pi, ci, ai, kind)
+				}
+			}
+			p.Calls = append(p.Calls, call)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: prog %d: %v", ErrBadCorpus, pi, err)
+		}
+		if !c.Add(p) {
+			return nil, fmt.Errorf("%w: prog %d: duplicate program", ErrBadCorpus, pi)
+		}
+	}
+	return c, nil
+}

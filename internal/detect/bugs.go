@@ -53,16 +53,16 @@ func BugByID(id int) (KnownBug, bool) {
 
 // extra write-function aliases: several distinct sites map to the same row.
 var raceAliases = map[[2]string]int{
-	{"free_block", "cache_alloc_refill"}:           13,
-	{"cache_alloc_refill", "cache_alloc_refill"}:   13,
-	{"free_block", "free_block"}:                   13,
-	{"rht_assign_unlock", "ipcget"}:                1,
-	{"rht_assign_unlock", "rhashtable_lookup"}:     1,
-	{"rht_assign_unlock", "rht_key_hashfn"}:        1,
+	{"free_block", "cache_alloc_refill"}:         13,
+	{"cache_alloc_refill", "cache_alloc_refill"}: 13,
+	{"free_block", "free_block"}:                 13,
+	{"rht_assign_unlock", "ipcget"}:              1,
+	{"rht_assign_unlock", "rhashtable_lookup"}:   1,
+	{"rht_assign_unlock", "rht_key_hashfn"}:      1,
 	// Use-after-free shadow of the lockless configfs lookup: the freed item
 	// is unlinked into the allocator freelist while the stale lookup still
 	// holds a reference.
-	{"kfree", "config_item_get"}: 11,
+	{"kfree", "config_item_get"}:                   11,
 	{"configfs_detach_item", "configfs_attach"}:    11,
 	{"snd_ctl_elem_remove", "snd_ctl_elem_add"}:    15,
 	{"snd_ctl_elem_add", "snd_ctl_elem_remove"}:    15,

@@ -66,6 +66,14 @@ const (
 	MDetectHarmful = "detect.harmful"      // counter: harmful findings
 	MIssuesFound   = "detect.issues_found" // gauge: distinct issues in the current run's report
 
+	// Content-addressed artifact store (internal/store) and stage-graph
+	// memoization (internal/core).
+	MStoreHits         = "store.stage_hits"    // counter: pipeline stages satisfied from the store
+	MStoreMisses       = "store.stage_misses"  // counter: pipeline stages that had to run
+	MStoreWrites       = "store.writes"        // counter: artifact/stage files written
+	MStoreBytesWritten = "store.bytes_written" // counter: payload bytes written
+	MStoreCorrupt      = "store.corrupt"       // counter: artifacts that failed verification on read
+
 	// Distributed queue.
 	MQueuePush       = "queue.push"             // counter: jobs enqueued
 	MQueuePop        = "queue.pop"              // counter: jobs dequeued

@@ -8,6 +8,7 @@ package queue
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 
 	"snowboard/internal/corpus"
@@ -24,14 +25,50 @@ var (
 	mDepth  = obs.G(obs.MQueueDepth)
 )
 
-// Job is one unit of exploration work: a serialized concurrent test.
+// Job is one unit of exploration work: a concurrent test, carried either
+// inline (Writer/Reader programs embedded in the job) or by reference
+// (Corpus names a corpus artifact in a shared content-addressed store and
+// Pair indexes the two programs inside it). Referencing shrinks the wire
+// format to a digest plus two integers regardless of program size and lets
+// a fleet of workers share one corpus artifact instead of receiving every
+// program inline.
 type Job struct {
-	ID     int            `json:"id"`
-	Writer *corpus.Prog   `json:"writer"`
-	Reader *corpus.Prog   `json:"reader"`
+	ID     int          `json:"id"`
+	Writer *corpus.Prog `json:"writer,omitempty"`
+	Reader *corpus.Prog `json:"reader,omitempty"`
+	// Corpus, when non-empty, is the hex content digest of a corpus
+	// artifact (store.KindCorpus); Writer/Reader are then resolved from
+	// Pair against that corpus via Resolve.
+	Corpus string         `json:"corpus,omitempty"`
 	Hint   *pmc.PMC       `json:"hint,omitempty"`
 	Pair   pmc.Pair       `json:"pair"`
 	Meta   map[string]any `json:"meta,omitempty"`
+}
+
+// Inline reports whether the job carries its programs inline.
+func (j *Job) Inline() bool { return j.Writer != nil && j.Reader != nil }
+
+// Resolve fills Writer/Reader from the corpus the job references. It is a
+// no-op for inline jobs.
+func (j *Job) Resolve(c *corpus.Corpus) error {
+	if j.Inline() {
+		return nil
+	}
+	if c == nil {
+		return fmt.Errorf("queue: job %d references corpus %.12s but no corpus given", j.ID, j.Corpus)
+	}
+	if j.Pair.Writer < 0 || j.Pair.Writer >= c.Len() || j.Pair.Reader < 0 || j.Pair.Reader >= c.Len() {
+		return fmt.Errorf("queue: job %d pair (%d,%d) out of range for corpus of %d tests",
+			j.ID, j.Pair.Writer, j.Pair.Reader, c.Len())
+	}
+	j.Writer = c.Progs[j.Pair.Writer]
+	j.Reader = c.Progs[j.Pair.Reader]
+	if j.Pair.Writer == j.Pair.Reader {
+		// Duplicate pairing runs a program against a copy of itself; clone so
+		// resolution matches what inline generation would have carried.
+		j.Reader = j.Reader.Clone()
+	}
+	return nil
 }
 
 // JobResult carries a worker's findings back.
@@ -154,14 +191,22 @@ func (q *Queue) Close() {
 // EncodeJob serializes a job for the wire.
 func EncodeJob(j Job) ([]byte, error) { return json.Marshal(j) }
 
-// DecodeJob parses a serialized job, validating its programs.
+// DecodeJob parses a serialized job. Inline programs are validated;
+// by-reference jobs must carry a corpus digest and in-range pair indices
+// (full bounds checking happens at Resolve time, against the corpus).
 func DecodeJob(data []byte) (Job, error) {
 	var j Job
 	if err := json.Unmarshal(data, &j); err != nil {
 		return Job{}, err
 	}
-	if j.Writer == nil || j.Reader == nil {
-		return Job{}, errors.New("queue: job missing programs")
+	if !j.Inline() {
+		if j.Corpus == "" {
+			return Job{}, errors.New("queue: job carries neither inline programs nor a corpus digest")
+		}
+		if j.Pair.Writer < 0 || j.Pair.Reader < 0 {
+			return Job{}, errors.New("queue: by-reference job with negative pair index")
+		}
+		return j, nil
 	}
 	if err := j.Writer.Validate(); err != nil {
 		return Job{}, err

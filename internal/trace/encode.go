@@ -35,6 +35,11 @@ const (
 	encVersion = 1
 )
 
+// CodecVersion identifies the trace record encoding, including the bare
+// block form embedded in profile-set artifacts; stage digests mix it in so
+// a format change invalidates stored artifacts instead of misdecoding them.
+const CodecVersion = encVersion
+
 // ErrBadTrace reports a malformed serialized trace.
 var ErrBadTrace = errors.New("trace: malformed encoding")
 
@@ -56,6 +61,17 @@ func Encode(w io.Writer, accs []Access) error {
 	if err := bw.WriteByte(encVersion); err != nil {
 		return err
 	}
+	if err := WriteBlock(bw, accs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteBlock writes the bare record stream (count + delta/varint records,
+// no magic or version) to bw. It is the embeddable form of Encode: larger
+// artifact formats — profile sets, store artifacts — frame several blocks
+// inside their own envelope. The caller owns flushing bw.
+func WriteBlock(bw *bufio.Writer, accs []Access) error {
 	var scratch [binary.MaxVarintLen64]byte
 	putU := func(v uint64) error {
 		n := binary.PutUvarint(scratch[:], v)
@@ -124,7 +140,7 @@ func Encode(w io.Writer, accs []Access) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // Decode parses a compact trace. Sequence numbers are reassigned in order.
@@ -141,6 +157,13 @@ func Decode(r io.Reader) ([]Access, error) {
 	if err != nil || ver != encVersion {
 		return nil, fmt.Errorf("%w: version %d", ErrBadTrace, ver)
 	}
+	return ReadBlock(br)
+}
+
+// ReadBlock parses one bare record stream written by WriteBlock, leaving br
+// positioned after the block's last record. Decoding errors never panic;
+// any malformed input yields an error wrapping ErrBadTrace.
+func ReadBlock(br *bufio.Reader) ([]Access, error) {
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: count: %v", ErrBadTrace, err)
@@ -149,7 +172,13 @@ func Decode(r io.Reader) ([]Access, error) {
 	if count > sanityMax {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadTrace, count)
 	}
-	out := make([]Access, 0, count)
+	// The claimed count is untrusted until records actually arrive: clamp
+	// the preallocation so a short hostile input can't demand gigabytes.
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([]Access, 0, capHint)
 	prevAddr := uint64(0)
 	for i := uint64(0); i < count; i++ {
 		flags, err := br.ReadByte()

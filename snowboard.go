@@ -43,6 +43,7 @@ import (
 	"snowboard/internal/pmc"
 	"snowboard/internal/queue"
 	"snowboard/internal/sched"
+	"snowboard/internal/store"
 	"snowboard/internal/trace"
 	"snowboard/internal/vm"
 )
@@ -147,6 +148,32 @@ type (
 	// JobResult carries a worker's findings back.
 	JobResult = queue.JobResult
 )
+
+// Checkpoint & resume: the content-addressed artifact store every stage
+// memoizes through when Options.StateDir is set (or a store is attached
+// with Pipeline.UseStore).
+type (
+	// Store is an on-disk, versioned, checksummed artifact store holding
+	// corpus, profile-set, PMC-set, and report artifacts addressed by the
+	// SHA-256 of their canonical encoding.
+	Store = store.Store
+	// Digest is a content address: the SHA-256 of an artifact's payload.
+	Digest = store.Digest
+)
+
+// Artifact kinds stored by the pipeline.
+const (
+	KindCorpus   = store.KindCorpus
+	KindProfiles = store.KindProfiles
+	KindPMCs     = store.KindPMCs
+	KindReport   = store.KindReport
+)
+
+// OpenStore opens (creating if needed) an artifact store rooted at dir.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// ParseDigest parses the 64-hex-digit form of a content digest.
+func ParseDigest(s string) (Digest, error) { return store.ParseDigest(s) }
 
 // Observability (internal/obs): the process-wide metrics registry every
 // pipeline stage reports into, plus the live introspection server.
