@@ -1,5 +1,5 @@
 // Command sbexec is a Snowboard execution worker: it connects to an
-// sbqueue coordinator, pops concurrent-test jobs, explores each with the
+// sbqueue coordinator, leases concurrent-test jobs, explores each with the
 // PMC-hinted scheduler, and reports findings back. Run one per core or per
 // machine, as the paper distributes testing across its machine-B fleet.
 //
@@ -7,18 +7,28 @@
 //
 //	sbexec -addr 127.0.0.1:7070 [-version 5.12-rc3] [-trials 64]
 //	       [-workers 0] [-state dir] [-name worker-1] [-idle-exit 5s]
-//	       [-http :0] [-progress 10s]
+//	       [-retries 8] [-http :0] [-progress 10s]
+//
+// Delivery is at-least-once: each job arrives under a lease that the worker
+// acks after reporting (or nacks on failure, so the coordinator redelivers
+// it elsewhere instead of losing it). Long explorations keep their lease
+// alive with periodic extends. Transient network errors never kill the
+// process: the client reconnects with exponential backoff (up to -retries
+// attempts per operation), and unresolvable by-reference jobs are nacked
+// and counted (worker.poisoned) rather than crashing the worker.
 //
 // With -state, the worker opens the content-addressed artifact store rooted
 // there and resolves by-reference jobs (corpus digest + pair indices, as
 // enqueued by sbqueue -state) against it; each referenced corpus artifact
 // is decoded once per process and cached. Without -state, a by-reference
-// job is a configuration error and the worker exits with a clear message.
+// job cannot be explored and is nacked with a clear reason — after the
+// coordinator's retry budget it lands on the dead-letter list instead of
+// disappearing.
 //
 // With -workers N the process runs N explorer goroutines against one
 // shared queue connection, each with its own simulated-kernel environment.
 // Per-job seeds derive from the job ID alone, so findings are identical no
-// matter how jobs land on workers.
+// matter how jobs land on workers — or how often a job is redelivered.
 //
 // All worker chatter goes to stderr; with -http, the worker's own metrics
 // (exec.tests, sched.trials, channel hits, …) are served live.
@@ -44,6 +54,8 @@ import (
 	"snowboard/internal/sched"
 )
 
+var mPoisoned = obs.C(obs.MWorkerPoisoned)
+
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "queue coordinator address")
@@ -53,6 +65,7 @@ func main() {
 		stateDir = flag.String("state", "", "artifact store directory for resolving by-reference jobs (must match the coordinator's -state)")
 		name     = flag.String("name", hostDefault(), "worker name in reports")
 		idleExit = flag.Duration("idle-exit", 5*time.Second, "exit after this long with an empty queue")
+		retries  = flag.Int("retries", 8, "reconnect attempts (exponential backoff) per queue operation")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
 		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
 	)
@@ -71,7 +84,7 @@ func main() {
 	stopProgress := obs.StartProgress(*progress, diag)
 	defer stopProgress()
 
-	client, err := queue.Dial(*addr)
+	client, err := queue.DialOpts(*addr, queue.DialOptions{MaxRetries: *retries})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,11 +148,43 @@ func (cc *corpusCache) get(hex string) (*corpus.Corpus, error) {
 	return c, nil
 }
 
+// keepLease extends a lease at half-TTL intervals until the returned stop
+// function is called, so explorations longer than the coordinator's lease
+// timeout are not reaped out from under a live worker.
+func keepLease(client *queue.Client, ls queue.Lease) (stop func()) {
+	ttl := time.Until(ls.Deadline)
+	if ttl < 100*time.Millisecond {
+		ttl = 100 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(ttl / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if _, err := client.Extend(ls.ID, 0); err != nil {
+					// Lease gone (expired or settled elsewhere); the
+					// coordinator deduplicates, nothing more to keep alive.
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
 // workLoop is one explorer goroutine: it owns a private simulated-kernel
-// environment and pops jobs from the shared (mutex-guarded) client until
+// environment and leases jobs from the shared (mutex-guarded) client until
 // the queue closes or stays empty past the idle deadline. Job seeds come
-// from the job ID, not the goroutine, so placement cannot change results.
+// from the job ID, not the goroutine, so placement — and redelivery —
+// cannot change results. Failures are contained: poisoned jobs are nacked,
+// network errors are retried inside the client, and only an exhausted
+// retry budget ends the loop (never the whole process via log.Fatal).
 func workLoop(client *queue.Client, cache *corpusCache, version snowboard.Version, trials int, name string, idleExit time.Duration, jobs *atomic.Int64) {
+	diag := obs.Diag
 	env := snowboard.NewEnv(version)
 	x := &snowboard.Explorer{
 		Env:    env,
@@ -151,7 +196,7 @@ func workLoop(client *queue.Client, cache *corpusCache, version snowboard.Versio
 
 	idleSince := time.Now()
 	for {
-		job, err := client.Pop()
+		ls, err := client.Lease()
 		switch {
 		case errors.Is(err, queue.ErrEmpty):
 			if time.Since(idleSince) > idleExit {
@@ -162,25 +207,39 @@ func workLoop(client *queue.Client, cache *corpusCache, version snowboard.Versio
 		case errors.Is(err, queue.ErrClosed):
 			return
 		case err != nil:
-			log.Fatal(err)
+			// The client already reconnected with backoff and gave up: the
+			// coordinator is unreachable. Leased work redelivers elsewhere.
+			diag.Printf("lease: %v — worker goroutine exiting", err)
+			return
 		}
 		idleSince = time.Now()
 		jobs.Add(1)
+		job := ls.Job
 
 		if !job.Inline() {
-			c, err := cache.get(job.Corpus)
-			if err != nil {
-				log.Fatalf("job %d: %v", job.ID, err)
+			c, rerr := cache.get(job.Corpus)
+			if rerr == nil {
+				rerr = job.Resolve(c)
 			}
-			if err := job.Resolve(c); err != nil {
-				log.Fatal(err)
+			if rerr != nil {
+				// Poisoned job: hand it back so the coordinator redelivers
+				// it (maybe another worker has the store) or dead-letters it
+				// with this reason — never crash the whole worker process.
+				mPoisoned.Inc()
+				diag.Printf("job %d unresolvable: %v — nacking", job.ID, rerr)
+				if nerr := client.Nack(ls.ID, rerr.Error()); nerr != nil && !errors.Is(nerr, queue.ErrUnknownLease) {
+					diag.Printf("nack job %d: %v", job.ID, nerr)
+				}
+				continue
 			}
 		}
 
+		stopKeep := keepLease(client, ls)
 		x.Seed = int64(job.ID)*1009 + 1
 		out := x.Explore(sched.ConcurrentTest{
 			Writer: job.Writer, Reader: job.Reader, Hint: job.Hint, Pair: job.Pair,
 		})
+		stopKeep()
 		res := queue.JobResult{
 			JobID:     job.ID,
 			Trials:    out.Trials,
@@ -194,7 +253,18 @@ func workLoop(client *queue.Client, cache *corpusCache, version snowboard.Versio
 			}
 		}
 		if err := client.Report(res); err != nil {
-			log.Fatal(err)
+			// Result never landed: nack so the job redelivers and reports
+			// from a healthier worker.
+			diag.Printf("report job %d: %v — nacking for redelivery", job.ID, err)
+			if nerr := client.Nack(ls.ID, "report failed: "+err.Error()); nerr != nil && !errors.Is(nerr, queue.ErrUnknownLease) {
+				diag.Printf("nack job %d: %v", job.ID, nerr)
+			}
+			continue
+		}
+		if err := client.Ack(ls.ID); err != nil && !errors.Is(err, queue.ErrUnknownLease) {
+			// ErrUnknownLease is benign: the lease expired and the job was
+			// redelivered; the coordinator folds the duplicate away.
+			diag.Printf("ack job %d: %v", job.ID, err)
 		}
 	}
 }

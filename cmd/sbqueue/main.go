@@ -7,7 +7,17 @@
 //
 //	sbqueue [-addr 127.0.0.1:7070] [-version 5.12-rc3] [-method S-INS-PAIR]
 //	        [-seed 1] [-fuzz 400] [-corpus 120] [-tests 200] [-workers 0]
-//	        [-state dir] [-wait 30s] [-http :8080] [-progress 10s]
+//	        [-state dir] [-lease 30s] [-retries 3] [-wait 30s]
+//	        [-http :8080] [-progress 10s]
+//
+// Jobs are delivered at-least-once: a worker leases a job for -lease and
+// acks it after reporting; a crashed or preempted worker's lease expires
+// and the job is redelivered (up to -retries attempts) instead of being
+// silently lost. Jobs that exhaust their attempts land on the dead-letter
+// list, which is dumped with the final summary — a poisoned job can
+// neither vanish nor retry forever. Redelivered jobs are folded into the
+// results exactly once (worker seeds derive from the job ID, so duplicate
+// reports are byte-identical).
 //
 // With -state, the local stages resume from the content-addressed artifact
 // store rooted there, and jobs go on the wire *by reference* — a corpus
@@ -25,7 +35,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"sort"
 	"time"
 
 	"snowboard"
@@ -44,7 +53,9 @@ func main() {
 		tests    = flag.Int("tests", 200, "concurrent tests to enqueue")
 		workers  = flag.Int("workers", 0, "parallel worker goroutines for the local stages (0 = one per CPU)")
 		stateDir = flag.String("state", "", "artifact store directory: resume local stages from it and enqueue jobs by corpus digest")
-		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for workers after the queue drains")
+		lease    = flag.Duration("lease", 30*time.Second, "worker lease timeout before an unacked job is redelivered")
+		retries  = flag.Int("retries", 3, "delivery attempts per job before it is dead-lettered")
+		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for outstanding leases to settle after the queue drains")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
 		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
 	)
@@ -104,7 +115,11 @@ func main() {
 		}
 	}
 
-	q := queue.New()
+	q := queue.NewWithOptions(queue.Options{
+		Name:         "coordinator",
+		LeaseTimeout: *lease,
+		MaxAttempts:  *retries,
+	})
 	srv, err := queue.Serve(q, *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -129,35 +144,47 @@ func main() {
 		}
 	}
 
-	// Wait for the queue to drain, then give workers time to report.
-	for q.Len() > 0 {
-		time.Sleep(200 * time.Millisecond)
-	}
-	deadline := time.Now().Add(*wait)
-	done := make(map[int]bool)
-	found := make(map[int]bool)
-	exercised := 0
-	for time.Now().Before(deadline) && len(done) < len(cts) {
-		for _, res := range q.Results() {
-			done[res.JobID] = true
-			if res.Exercised {
-				exercised++
+	// Wait for every job to settle: acked or dead-lettered. Pending jobs
+	// wait indefinitely (workers may not have started yet); the lease
+	// reaper turns abandoned leases back into pending jobs automatically,
+	// so once the pending list is empty, stragglers get *wait to settle
+	// (covering a worker that extends a lease forever) before we report
+	// with what we have.
+	var settleBy time.Time
+	for {
+		st := q.Stats()
+		if st.Pending == 0 && st.Leased == 0 {
+			break
+		}
+		if st.Pending == 0 {
+			if settleBy.IsZero() {
+				settleBy = time.Now().Add(*wait)
+			} else if time.Now().After(settleBy) {
+				diag.Printf("warning: %d leases never settled within %v; reporting anyway", st.Leased, *wait)
+				break
 			}
-			for _, id := range res.BugIDs {
-				found[id] = true
-			}
+		} else {
+			settleBy = time.Time{}
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
 
-	fmt.Printf("%d/%d jobs reported, %d exercised their PMC channel\n", len(done), len(cts), exercised)
-	ids := make([]int, 0, len(found))
-	for id := range found {
-		ids = append(ids, id)
+	// Fold worker results exactly once per job (redelivered duplicates are
+	// byte-identical and discarded) and surface the dead-letter list.
+	st := q.Stats()
+	sum := snowboard.AggregateResults(len(cts), q.Results(), q.DeadLetters())
+	r.Distributed = &sum
+
+	fmt.Printf("%d/%d jobs reported (%d redeliveries, %d duplicate reports folded), %d exercised their PMC channel\n",
+		sum.Reported, sum.Expected, st.Redelivered, sum.Duplicates, sum.Exercised)
+	fmt.Printf("issues found (Table 2 numbers): %v\n", sum.BugIDs)
+	if len(sum.DeadJobs) > 0 {
+		fmt.Printf("dead-lettered jobs after %d attempts: %v\n", *retries, sum.DeadJobs)
+		for _, d := range q.DeadLetters() {
+			diag.Printf("dead job %d (%d attempts): %s", d.Job.ID, d.Attempts, d.Reason)
+		}
 	}
-	sort.Ints(ids)
-	fmt.Printf("issues found (Table 2 numbers): %v\n", ids)
-	if len(done) < len(cts) {
-		diag.Printf("warning: some jobs never reported; workers may still be running")
+	if sum.Lost() {
+		diag.Printf("warning: jobs neither reported nor dead-lettered: %v", sum.Missing)
 	}
 }

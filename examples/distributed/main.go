@@ -1,17 +1,22 @@
 // distributed demonstrates the §4.4.1 deployment shape: a coordinator
 // generates concurrent tests and serves them over the lightweight TCP
 // queue; worker goroutines (each owning its own simulated kernel, like the
-// paper's machine-B fleet) pop jobs, explore interleavings, and report
-// findings back. In production the workers would be separate processes on
-// separate machines (see cmd/sbqueue and cmd/sbexec).
+// paper's machine-B fleet) lease jobs, explore interleavings, report
+// findings back, and ack. Delivery is at-least-once: worker 0 deliberately
+// "crashes" (abandons its lease) on the first job it receives, which the
+// queue redelivers after the lease expires — the final aggregate still
+// counts every job exactly once, because worker seeds derive from the job
+// ID and duplicate reports are folded away. In production the workers
+// would be separate processes on separate machines (see cmd/sbqueue and
+// cmd/sbexec).
 package main
 
 import (
 	"errors"
 	"fmt"
 	"log"
-	"sort"
 	"sync"
+	"time"
 
 	"snowboard"
 	"snowboard/internal/detect"
@@ -36,7 +41,13 @@ func main() {
 	fmt.Printf("coordinator: %d tests from %d PMCs (%d clusters)\n",
 		len(tests), r.DistinctPMCs, r.ExemplarPMCs)
 
-	q := snowboard.NewQueue()
+	// A short lease keeps the demo snappy: the abandoned job redelivers
+	// after 300ms instead of the production default of 30s.
+	q := snowboard.NewQueueWithOptions(snowboard.QueueOptions{
+		Name:         "example",
+		LeaseTimeout: 300 * time.Millisecond,
+		MaxAttempts:  3,
+	})
 	srv, err := queue.Serve(q, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -50,6 +61,8 @@ func main() {
 	}
 
 	// Fleet: four workers over TCP, each with a private simulated kernel.
+	// Worker 0 abandons its first lease without acking — the preempted
+	// cloud machine of §4.4.1 — and the queue redelivers that job.
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
@@ -66,14 +79,33 @@ func main() {
 				Detect: detect.DefaultOptions(),
 				Fsck:   func() []string { return env.K.FsckHost() },
 			}
+			crashed := false
 			for {
-				job, err := c.Pop()
-				if errors.Is(err, queue.ErrEmpty) || errors.Is(err, queue.ErrClosed) {
+				ls, err := c.Lease()
+				if errors.Is(err, queue.ErrEmpty) {
+					// Jobs may still be outstanding under other workers'
+					// leases; only stop once everything has settled.
+					st := q.Stats()
+					if st.Pending == 0 && st.Leased == 0 {
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				if errors.Is(err, queue.ErrClosed) {
 					return
 				}
 				if err != nil {
 					log.Fatal(err)
 				}
+				if id == 0 && !crashed {
+					// Simulated preemption: walk away mid-job. The lease
+					// expires and the job redelivers to a healthy worker.
+					crashed = true
+					fmt.Printf("worker-0 crashed holding job %d (attempt %d); the lease will expire\n", ls.Job.ID, ls.Attempt)
+					continue
+				}
+				job := ls.Job
 				x.Seed = int64(job.ID)*1009 + 1
 				out := x.Explore(sched.ConcurrentTest{
 					Writer: job.Writer, Reader: job.Reader, Hint: job.Hint, Pair: job.Pair,
@@ -87,34 +119,19 @@ func main() {
 				if err := c.Report(res); err != nil {
 					log.Fatal(err)
 				}
+				if err := c.Ack(ls.ID); err != nil && !errors.Is(err, queue.ErrUnknownLease) {
+					log.Fatal(err)
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	// Aggregate.
-	found := make(map[int]bool)
-	exercised, trials := 0, 0
-	byWorker := make(map[string]int)
-	for _, res := range q.Results() {
-		trials += res.Trials
-		if res.Exercised {
-			exercised++
-		}
-		for _, id := range res.BugIDs {
-			found[id] = true
-		}
-		byWorker[res.Worker]++
-	}
-	fmt.Printf("fleet: %d trials total, %d/%d tests exercised their channel\n", trials, exercised, len(tests))
-	for w := 0; w < 4; w++ {
-		name := fmt.Sprintf("worker-%d", w)
-		fmt.Printf("  %s handled %d jobs\n", name, byWorker[name])
-	}
-	ids := make([]int, 0, len(found))
-	for id := range found {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	fmt.Printf("issues found across the fleet (Table 2 numbers): %v\n", ids)
+	// Aggregate exactly once per job: redelivered duplicates fold away.
+	st := q.Stats()
+	sum := snowboard.AggregateResults(len(tests), q.Results(), q.DeadLetters())
+	fmt.Printf("fleet: %d trials total, %d/%d tests exercised their channel\n", sum.Trials, sum.Exercised, len(tests))
+	fmt.Printf("delivery: %d/%d reported, %d redeliveries, %d duplicate reports folded, %d dead-lettered, lost=%v\n",
+		sum.Reported, sum.Expected, st.Redelivered, sum.Duplicates, len(sum.DeadJobs), sum.Lost())
+	fmt.Printf("issues found across the fleet (Table 2 numbers): %v\n", sum.BugIDs)
 }

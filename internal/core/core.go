@@ -174,6 +174,12 @@ type Report struct {
 	Issues  map[int]IssueRecord // Table 2 bug id -> first-discovery record
 	Unknown []detect.Issue      // findings not matching Table 2
 
+	// Distributed, when the run fanned out over the queue, is the
+	// exactly-once fold of worker results — including the dead-letter list,
+	// so a job that exhausted its delivery attempts is surfaced in the
+	// final report rather than silently dropped (see AggregateResults).
+	Distributed *DistSummary `json:",omitempty"`
+
 	// Notes records degraded-mode decisions (e.g. generation skipped on an
 	// empty corpus) so machine consumers see them alongside the counters.
 	Notes []string `json:",omitempty"`

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sort"
+
+	"snowboard/internal/queue"
+)
+
+// DistSummary is the distributed-mode portion of a campaign report: the
+// deterministic fold of every worker JobResult plus the queue's dead-letter
+// list. At-least-once delivery means a redelivered job can report more than
+// once; each job is counted exactly once here, and because worker seeds
+// derive from the job ID alone, every copy of a job's result is identical —
+// so the summary is byte-for-byte the same whether or not any worker
+// crashed mid-campaign.
+type DistSummary struct {
+	Expected   int      `json:"expected"`             // jobs enqueued
+	Reported   int      `json:"reported"`             // distinct jobs with a result
+	Duplicates int      `json:"duplicates,omitempty"` // redelivered copies folded away
+	Exercised  int      `json:"exercised"`            // distinct jobs whose PMC channel occurred
+	Trials     int      `json:"trials"`               // interleaving trials, each job counted once
+	BugIDs     []int    `json:"bug_ids,omitempty"`    // sorted distinct Table 2 ids
+	IssueIDs   []string `json:"issue_ids,omitempty"`  // sorted distinct issue ids
+	DeadJobs   []int    `json:"dead_jobs,omitempty"`  // job IDs that exhausted delivery attempts
+	Missing    []int    `json:"missing,omitempty"`    // job IDs neither reported nor dead-lettered
+}
+
+// Lost reports whether any job was silently lost: neither reported nor
+// accounted for on the dead-letter list. Under leased delivery this should
+// always be false once the queue settles.
+func (s *DistSummary) Lost() bool { return len(s.Missing) > 0 }
+
+// AggregateResults folds worker results into a deterministic summary,
+// counting each of the `expected` jobs (IDs 0..expected-1, as enqueued by
+// the coordinator) exactly once no matter how many times the queue
+// redelivered it. The first result per job ID is taken as representative
+// (any copy is — see DistSummary); later copies only bump Duplicates.
+// Dead-lettered jobs are surfaced so a poisoned job is never silently
+// dropped from the report.
+func AggregateResults(expected int, results []queue.JobResult, dead []queue.DeadJob) DistSummary {
+	sum := DistSummary{Expected: expected}
+	seen := make(map[int]bool, len(results))
+	bugs := make(map[int]bool)
+	issues := make(map[string]bool)
+	for _, res := range results {
+		if seen[res.JobID] {
+			sum.Duplicates++
+			continue
+		}
+		seen[res.JobID] = true
+		sum.Reported++
+		sum.Trials += res.Trials
+		if res.Exercised {
+			sum.Exercised++
+		}
+		for _, id := range res.BugIDs {
+			bugs[id] = true
+		}
+		for _, id := range res.IssueIDs {
+			issues[id] = true
+		}
+	}
+	for id := range bugs {
+		sum.BugIDs = append(sum.BugIDs, id)
+	}
+	sort.Ints(sum.BugIDs)
+	for id := range issues {
+		sum.IssueIDs = append(sum.IssueIDs, id)
+	}
+	sort.Strings(sum.IssueIDs)
+	deadSet := make(map[int]bool, len(dead))
+	for _, d := range dead {
+		if !deadSet[d.Job.ID] {
+			deadSet[d.Job.ID] = true
+			sum.DeadJobs = append(sum.DeadJobs, d.Job.ID)
+		}
+	}
+	sort.Ints(sum.DeadJobs)
+	for id := 0; id < expected; id++ {
+		if !seen[id] && !deadSet[id] {
+			sum.Missing = append(sum.Missing, id)
+		}
+	}
+	return sum
+}

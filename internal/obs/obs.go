@@ -74,18 +74,35 @@ const (
 	MStoreBytesWritten = "store.bytes_written" // counter: payload bytes written
 	MStoreCorrupt      = "store.corrupt"       // counter: artifacts that failed verification on read
 
-	// Distributed queue.
-	MQueuePush       = "queue.push"             // counter: jobs enqueued
-	MQueuePop        = "queue.pop"              // counter: jobs dequeued
-	MQueueReport     = "queue.report"           // counter: results recorded
-	MQueueDepth      = "queue.depth"            // gauge: jobs waiting
-	MQueueNetConns   = "queue.net.conns"        // counter: TCP connections accepted
-	MQueueNetInFl    = "queue.net.inflight"     // gauge: connections currently served
-	MQueueNetBadReq  = "queue.net.bad_requests" // counter: malformed/unknown requests answered
-	MQueueNetPop     = "queue.net.pop"          // counter: pop ops served
-	MQueueNetPush    = "queue.net.push"         // counter: push ops served
-	MQueueNetReport  = "queue.net.report"       // counter: report ops served
-	MQueueNetUnknown = "queue.net.unknown_op"   // counter: unknown ops answered
+	// Distributed queue. MQueueDepth aggregates the pending depth across
+	// every queue in the process (each queue contributes deltas); per-queue
+	// depth lives in "queue.<name>.depth" gauges.
+	MQueuePush       = "queue.push"                // counter: jobs enqueued
+	MQueuePop        = "queue.pop"                 // counter: jobs dequeued
+	MQueueReport     = "queue.report"              // counter: results recorded
+	MQueueDepth      = "queue.depth"               // gauge: jobs waiting, summed over all queues
+	MQueueLease      = "queue.lease"               // counter: leases granted
+	MQueueAck        = "queue.ack"                 // counter: leases acked (job done)
+	MQueueNack       = "queue.nack"                // counter: leases nacked back by workers
+	MQueueRedeliver  = "queue.redeliver"           // counter: jobs requeued after lease expiry or nack
+	MQueueDeadLetter = "queue.dead_letter"         // counter: jobs dead-lettered after max attempts
+	MQueueLeaseAge   = "queue.lease_age_ns"        // histogram: lease hold time at ack
+	MQueueNetConns   = "queue.net.conns"           // counter: TCP connections accepted
+	MQueueNetInFl    = "queue.net.inflight"        // gauge: connections currently served
+	MQueueNetBadReq  = "queue.net.bad_requests"    // counter: malformed/unknown requests answered
+	MQueueNetPop     = "queue.net.pop"             // counter: pop ops served
+	MQueueNetPush    = "queue.net.push"            // counter: push ops served
+	MQueueNetReport  = "queue.net.report"          // counter: report ops served
+	MQueueNetLease   = "queue.net.lease"           // counter: lease ops served
+	MQueueNetAck     = "queue.net.ack"             // counter: ack ops served
+	MQueueNetNack    = "queue.net.nack"            // counter: nack ops served
+	MQueueNetExtend  = "queue.net.extend"          // counter: extend ops served
+	MQueueNetUnknown = "queue.net.unknown_op"      // counter: unknown ops answered
+	MQueueNetReconn  = "queue.net.reconnects"      // counter: client reconnects after I/O errors
+	MQueueNetBigFrm  = "queue.net.frame_too_large" // counter: frames rejected by the size cap
+
+	// Worker-process health (cmd/sbexec).
+	MWorkerPoisoned = "worker.poisoned" // counter: jobs nacked as unprocessable by a worker
 )
 
 // enabled gates every bump and span; on by default.

@@ -1,0 +1,148 @@
+package queue_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"snowboard/internal/queue"
+)
+
+// TestChaosFleet runs a 3-worker fleet against a real TCP server through a
+// seeded fault injector that randomly severs and delays connections. The
+// at-least-once machinery must absorb every injected failure: no job may be
+// lost, none may be double-counted after the by-job-ID fold, and with a
+// generous retry budget nothing should dead-letter.
+func TestChaosFleet(t *testing.T) {
+	const (
+		jobs     = 40
+		nWorkers = 3
+		seed     = 1234
+	)
+	q := queue.NewWithOptions(queue.Options{
+		Name:         "chaos",
+		LeaseTimeout: 150 * time.Millisecond,
+		MaxAttempts:  50,
+	})
+	srv, err := queue.Serve(q, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// By-reference jobs (a digest plus pair indices) keep the wire frames
+	// tiny; the workers here never resolve them — they only exercise the
+	// delivery machinery.
+	digest := strings.Repeat("ab", 32)
+	for i := 0; i < jobs; i++ {
+		if err := q.Push(queue.Job{ID: i, Corpus: digest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every worker dials through a flaky transport: ~3% of reads/writes
+	// sever the connection, ~5% stall briefly. The seeds are fixed, so the
+	// fault schedule is reproducible (modulo goroutine interleaving).
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := queue.DialOpts(srv.Addr(), queue.DialOptions{
+				MaxRetries: 8,
+				BaseDelay:  time.Millisecond,
+				MaxDelay:   20 * time.Millisecond,
+				Seed:       int64(seed + id),
+				Dial: queue.FlakyDialer(queue.FlakyOptions{
+					Seed:      int64(seed * (id + 1)),
+					FailProb:  0.03,
+					DelayProb: 0.05,
+					MaxDelay:  2 * time.Millisecond,
+				}, nil),
+			})
+			if err != nil {
+				t.Errorf("worker %d dial: %v", id, err)
+				return
+			}
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ls, err := c.Lease()
+				switch {
+				case errors.Is(err, queue.ErrEmpty):
+					time.Sleep(5 * time.Millisecond)
+					continue
+				case errors.Is(err, queue.ErrClosed):
+					return
+				case err != nil:
+					// Retry budget exhausted under injected faults; the next
+					// round-trip redials from scratch.
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				res := queue.JobResult{JobID: ls.Job.ID, Trials: 1, Worker: "chaos"}
+				if err := c.Report(res); err != nil {
+					// The report never landed: hand the lease back rather
+					// than lose the job.
+					_ = c.Nack(ls.ID, "report failed")
+					continue
+				}
+				if err := c.Ack(ls.ID); err != nil && !errors.Is(err, queue.ErrUnknownLease) &&
+					!errors.Is(err, queue.ErrClosed) {
+					t.Errorf("worker %d ack job %d: %v", id, ls.Job.ID, err)
+				}
+			}
+		}(w)
+	}
+
+	// Wait for every job to settle (acked or dead-lettered), then release
+	// the workers.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := q.Stats()
+		if st.Pending == 0 && st.Leased == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("fleet never settled: stats = %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if dead := q.DeadLetters(); len(dead) != 0 {
+		t.Fatalf("dead letters under chaos: %+v", dead)
+	}
+	// Fold reports exactly once per job: redelivery may produce duplicate
+	// reports (they are identical), but after the fold every job must be
+	// counted exactly once and none may be missing.
+	results := q.Results()
+	seen := make(map[int]int)
+	for _, r := range results {
+		seen[r.JobID]++
+	}
+	for i := 0; i < jobs; i++ {
+		if seen[i] == 0 {
+			t.Errorf("job %d lost: never reported", i)
+		}
+	}
+	if len(seen) != jobs {
+		t.Errorf("distinct jobs reported = %d, want %d", len(seen), jobs)
+	}
+	st := q.Stats()
+	if st.Done != jobs {
+		t.Errorf("acked jobs = %d, want %d", st.Done, jobs)
+	}
+	t.Logf("chaos fleet: %d reports for %d jobs, %d redeliveries, stats %+v",
+		len(results), jobs, st.Redelivered, st)
+}

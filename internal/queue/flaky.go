@@ -1,0 +1,113 @@
+package queue
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection for chaos testing: FlakyConn wraps a net.Conn and — from
+// a deterministic seeded stream — delays I/O operations and severs the
+// connection mid-use, the failure modes of the paper's cloud fleet
+// (worker preemption, network flakiness). Paired with the Client's
+// reconnect loop and the queue's lease reaper, chaos tests assert the
+// at-least-once invariant: zero lost jobs, zero double-counted jobs.
+
+// ErrInjectedFailure is the error a severed FlakyConn returns.
+var ErrInjectedFailure = errors.New("queue: injected connection failure")
+
+// FlakyOptions configure deterministic fault injection.
+type FlakyOptions struct {
+	// Seed fixes the fault stream; equal seeds inject identical fault
+	// sequences (relative to the connection's own I/O op order).
+	Seed int64
+	// FailProb is the per-I/O-operation probability that the connection
+	// severs (the underlying conn is closed and every later op fails).
+	FailProb float64
+	// DelayProb is the per-I/O-operation probability of an injected delay,
+	// uniform in (0, MaxDelay].
+	DelayProb float64
+	MaxDelay  time.Duration
+}
+
+// FlakyConn wraps a net.Conn with seed-deterministic faults.
+type FlakyConn struct {
+	net.Conn
+	o FlakyOptions
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	severed bool
+}
+
+// NewFlakyConn wraps conn with fault injection drawn from o.Seed.
+func NewFlakyConn(conn net.Conn, o FlakyOptions) *FlakyConn {
+	return &FlakyConn{Conn: conn, o: o, rng: rand.New(rand.NewSource(o.Seed))}
+}
+
+// fault rolls the fault dice for one I/O operation: it may sleep, and it
+// may sever the connection, returning ErrInjectedFailure.
+func (f *FlakyConn) fault() error {
+	f.mu.Lock()
+	if f.severed {
+		f.mu.Unlock()
+		return ErrInjectedFailure
+	}
+	delay := time.Duration(0)
+	if f.o.DelayProb > 0 && f.rng.Float64() < f.o.DelayProb && f.o.MaxDelay > 0 {
+		delay = time.Duration(f.rng.Int63n(int64(f.o.MaxDelay))) + 1
+	}
+	sever := f.o.FailProb > 0 && f.rng.Float64() < f.o.FailProb
+	if sever {
+		f.severed = true
+	}
+	f.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if sever {
+		_ = f.Conn.Close()
+		return ErrInjectedFailure
+	}
+	return nil
+}
+
+// Read injects faults before delegating.
+func (f *FlakyConn) Read(p []byte) (int, error) {
+	if err := f.fault(); err != nil {
+		return 0, err
+	}
+	return f.Conn.Read(p)
+}
+
+// Write injects faults before delegating.
+func (f *FlakyConn) Write(p []byte) (int, error) {
+	if err := f.fault(); err != nil {
+		return 0, err
+	}
+	return f.Conn.Write(p)
+}
+
+// FlakyDialer wraps a dial function (nil = plain TCP) so every connection
+// it produces is a FlakyConn. Each connection draws its faults from a seed
+// derived from o.Seed and the connection's ordinal, so a reconnecting
+// client sees a deterministic fault sequence across redials.
+func FlakyDialer(o FlakyOptions, dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	var n atomic.Int64
+	return func(addr string) (net.Conn, error) {
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		oc := o
+		oc.Seed = o.Seed + 0x9e3779b9*n.Add(1)
+		return NewFlakyConn(conn, oc), nil
+	}
+}

@@ -17,6 +17,14 @@ func FuzzQueueWire(f *testing.F) {
 	f.Add([]byte(`{"op":"pop"}`))
 	f.Add([]byte(`{"op":"push","job":{"id":1}}`))
 	f.Add([]byte(`{"op":"report","result":{"id":1}}`))
+	f.Add([]byte(`{"op":"lease","v":2}`))
+	f.Add([]byte(`{"op":"ack","lease":1,"v":2}`))
+	f.Add([]byte(`{"op":"nack","lease":7,"reason":"crash","v":2}`))
+	f.Add([]byte(`{"op":"extend","lease":7,"ms":500}`))
+	f.Add([]byte(`{"op":"pop","v":99}`))
+	f.Add([]byte(`{"op":"lease","lease":18446744073709551615}`))
+	f.Add(bytes.Repeat([]byte(`{"op":"pop"} `), 64))
+	f.Add(bytes.Repeat([]byte("a"), 600))
 	f.Add([]byte(`{"op":`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`"pop"`))
@@ -27,7 +35,10 @@ func FuzzQueueWire(f *testing.F) {
 		frame := bytes.ReplaceAll(data, []byte("\n"), []byte(" "))
 		frame = bytes.ReplaceAll(frame, []byte("\r"), []byte(" "))
 
-		s := &Server{Q: New()}
+		// A deliberately small frame cap so the fuzzer exercises the
+		// oversized-frame discard path, not just the JSON decoder.
+		s := &Server{Q: New(), MaxFrame: 512}
+		defer s.Q.Close()
 		cli, srv := net.Pipe()
 		done := make(chan struct{})
 		go func() {

@@ -2,10 +2,13 @@ package queue
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"net"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"snowboard/internal/obs"
 )
@@ -117,21 +120,186 @@ func TestTCPOpCounters(t *testing.T) {
 	}
 }
 
-func TestQueueDepthGauge(t *testing.T) {
-	q := New()
-	depth := obs.G(obs.MQueueDepth)
+func TestQueueDepthGaugePerQueue(t *testing.T) {
+	// Two queues in one process must not clobber each other's depth: each
+	// reports its own gauge, and the shared queue.depth gauge aggregates
+	// deltas instead of being Set by whoever moved last.
+	agg := obs.G(obs.MQueueDepth)
+	aggBefore := agg.Value()
+	a := NewWithOptions(Options{Name: "depth-a"})
+	b := NewWithOptions(Options{Name: "depth-b"})
 	for i := 0; i < 3; i++ {
-		if err := q.Push(testJob(i)); err != nil {
+		if err := a.Push(testJob(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := depth.Value(); got != 3 {
-		t.Fatalf("depth after pushes = %d, want 3", got)
-	}
-	if _, err := q.Pop(); err != nil {
+	if err := b.Push(testJob(9)); err != nil {
 		t.Fatal(err)
 	}
-	if got := depth.Value(); got != 2 {
-		t.Fatalf("depth after pop = %d, want 2", got)
+	da, db := obs.G("queue.depth-a.depth"), obs.G("queue.depth-b.depth")
+	if da.Value() != 3 || db.Value() != 1 {
+		t.Fatalf("per-queue depths = %d,%d, want 3,1", da.Value(), db.Value())
+	}
+	if got := agg.Value() - aggBefore; got != 4 {
+		t.Fatalf("aggregate depth delta = %d, want 4", got)
+	}
+	if _, err := a.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if da.Value() != 2 || db.Value() != 1 {
+		t.Fatalf("per-queue depths after pop = %d,%d, want 2,1", da.Value(), db.Value())
+	}
+	if got := agg.Value() - aggBefore; got != 3 {
+		t.Fatalf("aggregate depth delta after pop = %d, want 3", got)
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestServerClosePromptWithIdleClient(t *testing.T) {
+	// Regression: an idle connected client used to park the handler in a
+	// deadline-less read, so Server.Close blocked on wg.Wait forever. Close
+	// must sever live connections and return promptly.
+	q := New()
+	srv, err := Serve(q, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, r := rawDial(t, srv.Addr())
+	defer conn.Close()
+	// One round-trip proves the handler is live before it goes idle.
+	if _, err := conn.Write([]byte(`{"op":"pop"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	readResp(t, r)
+
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("Server.Close took %v with an idle client, want < 1s", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Server.Close hung on an idle client")
+	}
+}
+
+func TestFrameTooLargeClamp(t *testing.T) {
+	q := New()
+	srv, err := ServeOpts(q, "127.0.0.1:0", ServerOptions{MaxFrame: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	bigBefore := obs.C(obs.MQueueNetBigFrm).Value()
+	conn, r := rawDial(t, srv.Addr())
+	defer conn.Close()
+
+	// A newline-free flood past the cap must get an explicit error, not an
+	// unbounded buffer.
+	frame := append(bytes.Repeat([]byte("a"), 200), '\n')
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	resp := readResp(t, r)
+	if resp.OK || resp.Err != "frame too large" {
+		t.Fatalf("oversized frame response = %+v", resp)
+	}
+	if got := obs.C(obs.MQueueNetBigFrm).Value(); got != bigBefore+1 {
+		t.Fatalf("frame_too_large counter = %d, want %d", got, bigBefore+1)
+	}
+
+	// The connection stays in sync: a small valid request still works.
+	if _, err := conn.Write([]byte(`{"op":"pop"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp = readResp(t, r)
+	if resp.OK || resp.Err != ErrEmpty.Error() {
+		t.Fatalf("pop after oversized frame = %+v, want err %q", resp, ErrEmpty)
+	}
+}
+
+func TestUnsupportedProtocolVersion(t *testing.T) {
+	q := New()
+	srv, err := Serve(q, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, r := rawDial(t, srv.Addr())
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"op":"pop","v":99}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp := readResp(t, r)
+	if resp.OK || !strings.Contains(resp.Err, "unsupported protocol version 99") {
+		t.Fatalf("v99 response = %+v", resp)
+	}
+}
+
+func TestClientReconnectBackoff(t *testing.T) {
+	q := New()
+	srv, err := Serve(q, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Capture the live conns the client dials so the test can sever one out
+	// from under it.
+	var mu sync.Mutex
+	var conns []net.Conn
+	reconnBefore := obs.C(obs.MQueueNetReconn).Value()
+	c, err := DialOpts(srv.Addr(), DialOptions{
+		MaxRetries: 4,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   10 * time.Millisecond,
+		Seed:       42,
+		Dial: func(addr string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err == nil {
+				mu.Lock()
+				conns = append(conns, conn)
+				mu.Unlock()
+			}
+			return conn, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Push(testJob(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the connection behind the client's back; the next round-trip
+	// must redial and still succeed.
+	mu.Lock()
+	conns[0].Close()
+	mu.Unlock()
+	ls, err := c.Lease()
+	if err != nil {
+		t.Fatalf("lease after severed conn: %v", err)
+	}
+	if ls.Job.ID != 1 {
+		t.Fatalf("leased job %d, want 1", ls.Job.ID)
+	}
+	if err := c.Ack(ls.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.C(obs.MQueueNetReconn).Value(); got <= reconnBefore {
+		t.Fatalf("reconnects counter did not move (= %d)", got)
+	}
+	mu.Lock()
+	n := len(conns)
+	mu.Unlock()
+	if n < 2 {
+		t.Fatalf("client dialed %d times, want >= 2", n)
 	}
 }

@@ -3,26 +3,45 @@
 // that concurrent tests can be distributed in a cloud platform"). It
 // provides an in-process queue and a TCP transport (stdlib only) carrying
 // JSON-encoded jobs, so exploration work can fan out across workers.
+//
+// Delivery is at-least-once: workers Lease a job (receiving a lease ID and
+// deadline), then Ack it on success or Nack it on failure. A background
+// reaper redelivers jobs whose lease expired — a preempted or crashed
+// worker can never silently lose work — and a job that fails MaxAttempts
+// deliveries lands on the dead-letter list instead of retrying forever.
+// Because worker seeds derive from the job ID alone, a redelivered job
+// produces a byte-identical result, so coordinators fold duplicates away
+// and campaign reports match an uninterrupted run exactly.
 package queue
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"snowboard/internal/corpus"
 	"snowboard/internal/obs"
 	"snowboard/internal/pmc"
 )
 
-// Queue metrics: per-op counters plus the current depth, shared by every
-// queue in the process.
+// Queue metrics: per-op counters shared by every queue in the process, the
+// aggregate depth gauge (each queue contributes deltas, so several queues
+// never clobber one another), and the lease-age histogram.
 var (
-	mPush   = obs.C(obs.MQueuePush)
-	mPop    = obs.C(obs.MQueuePop)
-	mReport = obs.C(obs.MQueueReport)
-	mDepth  = obs.G(obs.MQueueDepth)
+	mPush      = obs.C(obs.MQueuePush)
+	mPop       = obs.C(obs.MQueuePop)
+	mReport    = obs.C(obs.MQueueReport)
+	mDepth     = obs.G(obs.MQueueDepth)
+	mLease     = obs.C(obs.MQueueLease)
+	mAck       = obs.C(obs.MQueueAck)
+	mNack      = obs.C(obs.MQueueNack)
+	mRedeliver = obs.C(obs.MQueueRedeliver)
+	mDead      = obs.C(obs.MQueueDeadLetter)
+	mLeaseAge  = obs.H(obs.MQueueLeaseAge)
 )
 
 // Job is one unit of exploration work: a concurrent test, carried either
@@ -71,7 +90,10 @@ func (j *Job) Resolve(c *corpus.Corpus) error {
 	return nil
 }
 
-// JobResult carries a worker's findings back.
+// JobResult carries a worker's findings back. A redelivered job may report
+// more than once; everything except Worker is a pure function of the job
+// (worker seeds derive from the job ID), so coordinators deduplicate by
+// JobID and any copy is representative.
 type JobResult struct {
 	JobID     int      `json:"job_id"`
 	Trials    int      `json:"trials"`
@@ -84,23 +106,142 @@ type JobResult struct {
 // ErrClosed is returned by operations on a closed queue.
 var ErrClosed = errors.New("queue: closed")
 
-// ErrEmpty is returned by TryPop on an empty queue.
+// ErrEmpty is returned by TryPop/TryLease on an empty queue.
 var ErrEmpty = errors.New("queue: empty")
 
-// Queue is a FIFO job queue with a result channel, safe for concurrent use.
-type Queue struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	jobs    []Job
-	results []JobResult
-	closed  bool
+// ErrUnknownLease is returned by Ack/Nack/Extend when the lease ID is not
+// outstanding — typically because the lease already expired and the job was
+// redelivered, or because it was already settled. A worker seeing this on
+// Ack after a successful Report can treat it as benign: the result is
+// recorded and the duplicate delivery will be folded away by the
+// coordinator.
+var ErrUnknownLease = errors.New("queue: unknown lease")
+
+// Defaults for Options.
+const (
+	DefaultLeaseTimeout = 30 * time.Second
+	DefaultMaxAttempts  = 3
+)
+
+// Options configure a queue's delivery semantics.
+type Options struct {
+	// Name labels this queue's depth gauge ("queue.<name>.depth"); empty
+	// picks a process-unique "q<n>".
+	Name string
+	// LeaseTimeout is how long a worker holds a leased job before the
+	// reaper takes it back for redelivery (default 30s). Workers running
+	// long jobs should Extend.
+	LeaseTimeout time.Duration
+	// MaxAttempts bounds delivery attempts per job (default 3). A job
+	// whose attempts are exhausted is dead-lettered, never silently
+	// dropped and never retried forever.
+	MaxAttempts int
 }
 
-// New returns an empty queue.
-func New() *Queue {
-	q := &Queue{}
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("q%d", queueSeq.Add(1))
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	return o
+}
+
+var queueSeq atomic.Int64
+
+// Lease is one granted delivery of a job: the job plus the handle the
+// worker uses to Ack, Nack, or Extend it before Deadline.
+type Lease struct {
+	Job      Job
+	ID       uint64
+	Attempt  int // 1-based delivery attempt
+	Deadline time.Time
+}
+
+// DeadJob is a job that exhausted its delivery attempts.
+type DeadJob struct {
+	Job      Job    `json:"job"`
+	Attempts int    `json:"attempts"`
+	Reason   string `json:"reason"` // last nack reason, or "lease expired"
+}
+
+// Stats is a point-in-time view of where every pushed job stands:
+// Pending + Leased + Done + DeadLettered == jobs pushed (once settled).
+type Stats struct {
+	Pending      int // waiting for delivery
+	Leased       int // delivered, not yet acked/nacked/expired
+	Done         int // acked
+	DeadLettered int // attempts exhausted
+	Redelivered  int // total redeliveries performed (expiry or nack)
+}
+
+// pendingJob carries the delivery history alongside the job.
+type pendingJob struct {
+	job     Job
+	attempt int // completed delivery attempts
+}
+
+// activeLease is the server-side record of one outstanding lease.
+type activeLease struct {
+	job      Job
+	attempt  int
+	deadline time.Time
+	since    time.Time
+}
+
+// Queue is a FIFO job queue with leased at-least-once delivery and a result
+// channel, safe for concurrent use.
+type Queue struct {
+	opts Options
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	jobs        []pendingJob
+	leases      map[uint64]*activeLease
+	dead        []DeadJob
+	results     []JobResult
+	closed      bool
+	nextLease   uint64
+	acked       int
+	redelivered int
+
+	reapOnce sync.Once
+	stop     chan struct{}
+
+	depth *obs.Gauge // per-queue depth gauge
+	last  int64      // last depth contributed to the aggregate gauge
+}
+
+// New returns an empty queue with default delivery options.
+func New() *Queue { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns an empty queue with the given delivery options.
+func NewWithOptions(o Options) *Queue {
+	o = o.withDefaults()
+	q := &Queue{
+		opts:   o,
+		leases: make(map[uint64]*activeLease),
+		stop:   make(chan struct{}),
+		depth:  obs.G("queue." + o.Name + ".depth"),
+	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// LeaseTimeout returns the configured lease duration.
+func (q *Queue) LeaseTimeout() time.Duration { return q.opts.LeaseTimeout }
+
+// setDepthLocked publishes the pending depth to the per-queue gauge and the
+// delta to the process-wide aggregate.
+func (q *Queue) setDepthLocked() {
+	n := int64(len(q.jobs))
+	q.depth.Set(n)
+	mDepth.Add(n - q.last)
+	q.last = n
 }
 
 // Push enqueues a job.
@@ -110,46 +251,195 @@ func (q *Queue) Push(j Job) error {
 	if q.closed {
 		return ErrClosed
 	}
-	q.jobs = append(q.jobs, j)
+	q.jobs = append(q.jobs, pendingJob{job: j})
 	mPush.Inc()
-	mDepth.Set(int64(len(q.jobs)))
+	q.setDepthLocked()
 	q.cond.Signal()
 	return nil
 }
 
-// Pop dequeues the next job, blocking until one is available or the queue
-// closes.
-func (q *Queue) Pop() (Job, error) {
+// startReaper launches the lease reaper on first use. It wakes a few times
+// per lease period, requeues expired leases (oldest lease ID first, so
+// redelivery order is deterministic), and exits when the queue closes.
+func (q *Queue) startReaper() {
+	q.reapOnce.Do(func() {
+		ivl := q.opts.LeaseTimeout / 4
+		if ivl < time.Millisecond {
+			ivl = time.Millisecond
+		}
+		if ivl > time.Second {
+			ivl = time.Second
+		}
+		go func() {
+			t := time.NewTicker(ivl)
+			defer t.Stop()
+			for {
+				select {
+				case <-q.stop:
+					return
+				case <-t.C:
+					q.reapExpired(time.Now())
+				}
+			}
+		}()
+	})
+}
+
+// reapExpired requeues (or dead-letters) every lease past its deadline.
+func (q *Queue) reapExpired(now time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var expired []uint64
+	for id, l := range q.leases {
+		if !now.Before(l.deadline) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		l := q.leases[id]
+		delete(q.leases, id)
+		q.requeueLocked(l, "lease expired")
+	}
+}
+
+// requeueLocked returns a failed delivery to the pending list, or
+// dead-letters the job if its attempts are exhausted.
+func (q *Queue) requeueLocked(l *activeLease, reason string) {
+	if l.attempt >= q.opts.MaxAttempts {
+		q.dead = append(q.dead, DeadJob{Job: l.job, Attempts: l.attempt, Reason: reason})
+		mDead.Inc()
+		return
+	}
+	q.jobs = append(q.jobs, pendingJob{job: l.job, attempt: l.attempt})
+	q.redelivered++
+	mRedeliver.Inc()
+	q.setDepthLocked()
+	q.cond.Signal()
+}
+
+// leaseLocked grants a lease on the head job.
+func (q *Queue) leaseLocked() Lease {
+	p := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	q.nextLease++
+	now := time.Now()
+	l := &activeLease{
+		job:      p.job,
+		attempt:  p.attempt + 1,
+		deadline: now.Add(q.opts.LeaseTimeout),
+		since:    now,
+	}
+	q.leases[q.nextLease] = l
+	mLease.Inc()
+	q.setDepthLocked()
+	return Lease{Job: p.job, ID: q.nextLease, Attempt: l.attempt, Deadline: l.deadline}
+}
+
+// Lease grants the next job under a lease, blocking until one is available
+// (including via redelivery of an expired lease) or the queue closes.
+func (q *Queue) Lease() (Lease, error) {
+	q.startReaper()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.jobs) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.jobs) == 0 {
-		return Job{}, ErrClosed
+		return Lease{}, ErrClosed
 	}
-	j := q.jobs[0]
-	q.jobs = q.jobs[1:]
-	mPop.Inc()
-	mDepth.Set(int64(len(q.jobs)))
-	return j, nil
+	return q.leaseLocked(), nil
 }
 
-// TryPop dequeues without blocking.
-func (q *Queue) TryPop() (Job, error) {
+// TryLease grants a lease without blocking; ErrEmpty when nothing is
+// pending (jobs may still be outstanding under other workers' leases).
+func (q *Queue) TryLease() (Lease, error) {
+	q.startReaper()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.jobs) == 0 {
 		if q.closed {
-			return Job{}, ErrClosed
+			return Lease{}, ErrClosed
 		}
-		return Job{}, ErrEmpty
+		return Lease{}, ErrEmpty
 	}
-	j := q.jobs[0]
-	q.jobs = q.jobs[1:]
+	return q.leaseLocked(), nil
+}
+
+// Ack settles a lease: the job is done and will not be redelivered.
+func (q *Queue) Ack(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.leases[id]
+	if !ok {
+		return ErrUnknownLease
+	}
+	delete(q.leases, id)
+	q.acked++
+	mAck.Inc()
+	mLeaseAge.ObserveDuration(time.Since(l.since))
+	return nil
+}
+
+// Nack hands a lease back for redelivery (or dead-lettering once attempts
+// are exhausted); reason is recorded on the dead-letter entry.
+func (q *Queue) Nack(id uint64, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.leases[id]
+	if !ok {
+		return ErrUnknownLease
+	}
+	delete(q.leases, id)
+	mNack.Inc()
+	if reason == "" {
+		reason = "nacked"
+	}
+	q.requeueLocked(l, reason)
+	return nil
+}
+
+// Extend pushes a lease's deadline out by d (the queue's LeaseTimeout when
+// d <= 0) and returns the new deadline. Workers running jobs longer than
+// the lease period call this to keep the reaper away.
+func (q *Queue) Extend(id uint64, d time.Duration) (time.Time, error) {
+	if d <= 0 {
+		d = q.opts.LeaseTimeout
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.leases[id]
+	if !ok {
+		return time.Time{}, ErrUnknownLease
+	}
+	l.deadline = time.Now().Add(d)
+	return l.deadline, nil
+}
+
+// Pop dequeues the next job with legacy at-most-once semantics (the lease
+// is acked immediately, so a crashed consumer loses the job), blocking
+// until one is available or the queue closes. Fault-tolerant consumers use
+// Lease/Ack instead.
+func (q *Queue) Pop() (Job, error) {
+	ls, err := q.Lease()
+	if err != nil {
+		return Job{}, err
+	}
+	_ = q.Ack(ls.ID)
 	mPop.Inc()
-	mDepth.Set(int64(len(q.jobs)))
-	return j, nil
+	return ls.Job, nil
+}
+
+// TryPop dequeues without blocking, with the same at-most-once semantics as
+// Pop.
+func (q *Queue) TryPop() (Job, error) {
+	ls, err := q.TryLease()
+	if err != nil {
+		return Job{}, err
+	}
+	_ = q.Ack(ls.ID)
+	mPop.Inc()
+	return ls.Job, nil
 }
 
 // Report records a worker's result.
@@ -164,7 +454,9 @@ func (q *Queue) Report(r JobResult) error {
 	return nil
 }
 
-// Results drains and returns all recorded results.
+// Results drains and returns all recorded results. At-least-once delivery
+// means the slice can hold several results for one redelivered job;
+// coordinators deduplicate by JobID (see core.AggregateResults).
 func (q *Queue) Results() []JobResult {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -173,18 +465,45 @@ func (q *Queue) Results() []JobResult {
 	return out
 }
 
-// Len reports the number of queued jobs.
+// DeadLetters returns a copy of the dead-letter list: jobs that exhausted
+// their delivery attempts, with the reason for the final failure.
+func (q *Queue) DeadLetters() []DeadJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]DeadJob(nil), q.dead...)
+}
+
+// Stats reports where every pushed job currently stands.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Pending:      len(q.jobs),
+		Leased:       len(q.leases),
+		Done:         q.acked,
+		DeadLettered: len(q.dead),
+		Redelivered:  q.redelivered,
+	}
+}
+
+// Len reports the number of queued (pending, unleased) jobs.
 func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.jobs)
 }
 
-// Close wakes all blocked Pops; subsequent Pushes fail.
+// Close wakes all blocked Leases/Pops and stops the reaper; subsequent
+// Pushes fail. Outstanding leases can still be acked or nacked while
+// workers drain.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
 	q.closed = true
+	close(q.stop)
 	q.cond.Broadcast()
 }
 

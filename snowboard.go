@@ -139,15 +139,39 @@ type (
 	ReproState = sched.ReproState
 )
 
-// Distributed execution.
+// Distributed execution. Delivery is at-least-once: workers lease jobs,
+// ack on success, nack on failure; expired leases redeliver, exhausted
+// attempts dead-letter, and coordinators fold results exactly once.
 type (
 	// Queue is the lightweight distributed test queue.
 	Queue = queue.Queue
+	// QueueOptions configure a queue's lease timeout, retry budget, and
+	// metrics name.
+	QueueOptions = queue.Options
 	// Job is one queued concurrent test.
 	Job = queue.Job
+	// JobLease is one granted delivery of a job: the job plus the handle
+	// used to Ack/Nack/Extend it.
+	JobLease = queue.Lease
+	// DeadJob is a job that exhausted its delivery attempts.
+	DeadJob = queue.DeadJob
 	// JobResult carries a worker's findings back.
 	JobResult = queue.JobResult
+	// DistSummary is the exactly-once fold of a distributed campaign's
+	// worker results plus its dead-letter list.
+	DistSummary = core.DistSummary
 )
+
+// NewQueueWithOptions returns an empty job queue with explicit delivery
+// options (lease timeout, max delivery attempts).
+func NewQueueWithOptions(o QueueOptions) *Queue { return queue.NewWithOptions(o) }
+
+// AggregateResults folds distributed worker results into a deterministic
+// summary, counting each job exactly once no matter how often at-least-once
+// delivery redelivered it.
+func AggregateResults(expected int, results []JobResult, dead []DeadJob) DistSummary {
+	return core.AggregateResults(expected, results, dead)
+}
 
 // Checkpoint & resume: the content-addressed artifact store every stage
 // memoizes through when Options.StateDir is set (or a store is attached
