@@ -453,7 +453,8 @@ func BenchmarkAblationStackFilter(b *testing.B) {
 				}
 				env.M.SetTrace(nil)
 				f := trace.Filter{Thread: 0, KeepStack: keepStack}
-				kept += len(f.Apply(&tr))
+				fb := f.Apply(&tr)
+				kept += fb.Len()
 			}
 			b.ReportMetric(float64(kept)/float64(b.N), "accesses/profile")
 		})

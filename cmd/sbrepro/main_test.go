@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("run %s %v: %v", bin, args, err)
+		}
+	}
+	return stdout.String(), stderr.String(), err
+}
+
+func TestSbreproUsage(t *testing.T) {
+	bin := buildTool(t, "snowboard/cmd/sbrepro")
+	stdout, stderr, _ := runTool(t, bin, "-h")
+	if !strings.Contains(stderr, "-bundle") || !strings.Contains(stderr, "-state") {
+		t.Fatalf("usage text missing flags:\n%s", stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("usage leaked to stdout:\n%s", stdout)
+	}
+}
+
+// TestSbreproListsStoredReports is the end-to-end smoke: a tiny snowboard
+// pipeline run persists its report into an artifact store, and sbrepro
+// pointed at the same store must exit 0 and list that report's digest.
+func TestSbreproListsStoredReports(t *testing.T) {
+	pipeline := buildTool(t, "snowboard/cmd/snowboard")
+	repro := buildTool(t, "snowboard/cmd/sbrepro")
+	state := t.TempDir()
+
+	_, stderr, err := runTool(t, pipeline,
+		"-seed", "1", "-fuzz", "30", "-corpus", "10", "-tests", "4", "-trials", "2",
+		"-state", state, "-json", "-progress", "0")
+	if err != nil {
+		t.Fatalf("pipeline exit error: %v\nstderr:\n%s", err, stderr)
+	}
+
+	stdout, stderr, err := runTool(t, repro, "-state", state)
+	if err != nil {
+		t.Fatalf("sbrepro exit error: %v\nstderr:\n%s\nstdout:\n%s", err, stderr, stdout)
+	}
+	if !strings.Contains(stdout, "report artifacts in "+state) {
+		t.Fatalf("stored report listing missing:\n%s", stdout)
+	}
+	// At least one digest line follows the header.
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) < 2 || strings.TrimSpace(lines[1]) == "" {
+		t.Fatalf("no report digest listed:\n%s", stdout)
+	}
+}

@@ -60,7 +60,7 @@ func main() {
 			log.Fatalf("sequential profiling crashed: %v", res.Faults)
 		}
 		profiles = append(profiles, snowboard.Profile{TestID: i, Accesses: accs, DFLeader: df})
-		fmt.Printf("profiled test %d: %d shared accesses\n", i+1, len(accs))
+		fmt.Printf("profiled test %d: %d shared accesses\n", i+1, accs.Len())
 	}
 
 	// Stage 2: identify PMCs and pick the tunnel-list publication channel.

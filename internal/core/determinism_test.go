@@ -80,9 +80,9 @@ func digestRun(t *testing.T, workers int) reportDigest {
 		d.Corpus = append(d.Corpus, prog.String())
 	}
 	for _, prof := range p.Profiles {
-		d.ProfileSizes = append(d.ProfileSizes, len(prof.Accesses))
+		d.ProfileSizes = append(d.ProfileSizes, prof.Accesses.Len())
 		var h uint64
-		for _, a := range prof.Accesses {
+		for _, a := range prof.Accesses.Accesses() {
 			h = fnv1a(h, fmt.Sprintf("%d:%d:%d:%d:%d", a.Ins, a.Addr, a.Size, a.Val, a.Kind))
 		}
 		d.ProfileHash = append(d.ProfileHash, h)

@@ -143,7 +143,7 @@ func (p *Pipeline) ProfileAll(r *Report) error {
 	}
 	envs := p.workerEnvs(p.workers())
 	type profiled struct {
-		accs    []trace.Access
+		accs    trace.Block
 		df      map[int]bool
 		crashed bool
 		faults  []string
@@ -164,7 +164,7 @@ func (p *Pipeline) ProfileAll(r *Report) error {
 			return fmt.Errorf("core: corpus test %d crashed during profiling: %v", i, u.faults)
 		}
 		p.Profiles = append(p.Profiles, pmc.Profile{TestID: i, Accesses: u.accs, DFLeader: u.df})
-		accesses += len(u.accs)
+		accesses += u.accs.Len()
 	}
 	r.ProfiledAccesses += accesses
 	r.ProfileTime = span.End(obs.A("accesses", r.ProfiledAccesses))

@@ -53,17 +53,16 @@ func (c *Coverage) AddTrace(tr *trace.Trace) int {
 	}
 	last := make(map[uint64]lastAccess)
 	local := make(map[Pair]bool)
-	for i := range tr.Accesses {
-		a := &tr.Accesses[i]
-		if a.Stack || a.Atomic {
+	for i, n := 0, tr.Len(); i < n; i++ {
+		if tr.StackAt(i) || tr.AtomicAt(i) {
 			continue
 		}
-		isWrite := a.Kind == trace.Write
-		for b := a.Addr; b < a.End(); b++ {
-			if prev, ok := last[b]; ok && prev.thread != a.Thread && (prev.write || isWrite) {
-				local[Pair{First: prev.ins, Second: a.Ins}] = true
+		ins, thread, isWrite := tr.InsAt(i), tr.ThreadAt(i), tr.IsWriteAt(i)
+		for b := tr.AddrAt(i); b < tr.EndAt(i); b++ {
+			if prev, ok := last[b]; ok && prev.thread != thread && (prev.write || isWrite) {
+				local[Pair{First: prev.ins, Second: ins}] = true
 			}
-			last[b] = lastAccess{ins: a.Ins, thread: a.Thread, write: isWrite}
+			last[b] = lastAccess{ins: ins, thread: thread, write: isWrite}
 		}
 	}
 	c.mu.Lock()

@@ -124,58 +124,52 @@ func FindRaces(tr *trace.Trace) []RaceReport {
 	seen := make(map[key]bool)
 	var out []RaceReport
 
-	accs := tr.Accesses
+	n := tr.Len()
 	// Group by overlap via a write index bucketed on address.
 	writes := make(map[uint64][]int)
-	for i := range accs {
-		a := &accs[i]
-		if a.Kind == trace.Write && !a.Atomic && !a.Stack {
-			writes[a.Addr] = append(writes[a.Addr], i)
+	for i := 0; i < n; i++ {
+		if tr.IsWriteAt(i) && !tr.AtomicAt(i) && !tr.StackAt(i) {
+			writes[tr.AddrAt(i)] = append(writes[tr.AddrAt(i)], i)
 		}
 	}
 	consider := func(wi, oi int) {
-		w, o := &accs[wi], &accs[oi]
-		if w.Thread == o.Thread || !w.Overlaps(o) {
+		w, o := tr.At(wi), tr.At(oi)
+		if w.Thread == o.Thread || !w.Overlaps(&o) {
 			return
 		}
 		if w.Marked && o.Marked {
 			return
 		}
-		if w.SharesLock(o) {
+		if w.SharesLock(&o) {
 			return
 		}
-		var rd *trace.Access
-		if o.Kind == trace.Read {
-			rd = o
-		} else {
-			// write/write conflict: report with the second write as "read"
-			// side for keying purposes (both clobber the location).
-			rd = o
-		}
-		k := key{w: w.Ins, r: rd.Ins}
+		// For a write/write conflict the second write fills the "read"
+		// side for keying purposes (both clobber the location).
+		k := key{w: w.Ins, r: o.Ins}
 		if seen[k] {
 			return
 		}
 		seen[k] = true
-		out = append(out, RaceReport{Write: *w, Read: *rd})
+		out = append(out, RaceReport{Write: w, Read: o})
 	}
-	for i := range accs {
-		o := &accs[i]
-		if o.Atomic || o.Stack {
+	for i := 0; i < n; i++ {
+		if tr.AtomicAt(i) || tr.StackAt(i) {
 			continue
 		}
+		oAddr, oEnd := tr.AddrAt(i), tr.EndAt(i)
+		oWrite := tr.IsWriteAt(i)
 		lo := uint64(0)
-		if o.Addr > 7 {
-			lo = o.Addr - 7
+		if oAddr > 7 {
+			lo = oAddr - 7
 		}
-		for addr := lo; addr < o.End(); addr++ {
+		for addr := lo; addr < oEnd; addr++ {
 			for _, wi := range writes[addr] {
 				if wi == i {
 					continue
 				}
 				// Deduplicate write/write pairs: only report with the
 				// earlier access as the "write" side.
-				if accs[wi].Kind == trace.Write && o.Kind == trace.Write && wi > i {
+				if oWrite && wi > i {
 					continue
 				}
 				consider(wi, i)
@@ -206,24 +200,23 @@ type TornRead struct {
 // the run — direct evidence that the reader observed a mix of old and new
 // bytes.
 func FindTornReads(tr *trace.Trace) []TornRead {
-	accs := tr.Accesses
+	n := tr.Len()
 	var out []TornRead
-	for i := 0; i < len(accs); {
-		a := &accs[i]
-		if a.Kind != trace.Read || a.Stack || a.Atomic {
+	for i := 0; i < n; {
+		if tr.KindAt(i) != trace.Read || tr.StackAt(i) || tr.AtomicAt(i) {
 			i++
 			continue
 		}
+		aThread, aIns := tr.ThreadAt(i), tr.InsAt(i)
 		// Collect the run of reads by the same thread+instruction over
 		// adjacent ascending addresses (a memcpy loop).
 		j := i
-		for j+1 < len(accs) {
+		for j+1 < n {
 			// Allow interleaved accesses from other threads inside the run.
 			next := -1
-			for k := j + 1; k < len(accs) && k <= j+16; k++ {
-				b := &accs[k]
-				if b.Thread == a.Thread {
-					if b.Ins == a.Ins && b.Kind == trace.Read && b.Addr == accs[j].Addr+uint64(accs[j].Size) {
+			for k := j + 1; k < n && k <= j+16; k++ {
+				if tr.ThreadAt(k) == aThread {
+					if tr.InsAt(k) == aIns && tr.KindAt(k) == trace.Read && tr.AddrAt(k) == tr.EndAt(j) {
 						next = k
 					}
 					break
@@ -235,14 +228,13 @@ func FindTornReads(tr *trace.Trace) []TornRead {
 			j = next
 		}
 		if j > i+1 { // a run of at least 3 parts
-			lo, hi := accs[i].Addr, accs[j].End()
+			lo, hi := tr.AddrAt(i), tr.EndAt(j)
 			// Any conflicting write sequenced strictly inside the run?
 			for k := i + 1; k < j; k++ {
-				b := &accs[k]
-				if b.Kind == trace.Write && b.Thread != a.Thread && b.Addr < hi && b.End() > lo {
+				if tr.IsWriteAt(k) && tr.ThreadAt(k) != aThread && tr.AddrAt(k) < hi && tr.EndAt(k) > lo {
 					out = append(out, TornRead{
-						ReadIns:  a.Ins,
-						WriteIns: b.Ins,
+						ReadIns:  aIns,
+						WriteIns: tr.InsAt(k),
 						Addr:     lo,
 						Len:      int(hi - lo),
 					})

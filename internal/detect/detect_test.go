@@ -68,8 +68,8 @@ func TestLocksetRaceBasic(t *testing.T) {
 func TestLocksetCommonLockSuppresses(t *testing.T) {
 	w := acc(0, trace.Write, dIns1, 0x100, 8, 1)
 	r := acc(1, trace.Read, dIns2, 0x100, 8, 0)
-	w.Locks = []uint64{0x50}
-	r.Locks = []uint64{0x50}
+	w.Locks = trace.InternLocks([]uint64{0x50})
+	r.Locks = trace.InternLocks([]uint64{0x50})
 	if races := FindRaces(traceOf(w, r)); len(races) != 0 {
 		t.Fatalf("locked pair reported: %+v", races)
 	}

@@ -21,17 +21,34 @@ import (
 // initializing stores before every reader that dereferences the published
 // pointer.
 
-const maxThreadsHB = 8
+// vclock is a dynamically sized vector clock: component i is thread i's
+// logical time, with absent entries implicitly zero. Clocks grow on
+// demand, so the analysis has no fixed thread-count ceiling.
+type vclock []uint64
 
-type vclock [maxThreadsHB]uint64
+func (v vclock) get(t int) uint64 {
+	if t < len(v) {
+		return v[t]
+	}
+	return 0
+}
 
-func (v *vclock) join(o *vclock) {
-	for i := range v {
-		if o[i] > v[i] {
-			v[i] = o[i]
+func (v *vclock) set(t int, c uint64) {
+	for len(*v) <= t {
+		*v = append(*v, 0)
+	}
+	(*v)[t] = c
+}
+
+func (v *vclock) join(o vclock) {
+	for i, c := range o {
+		if c > v.get(i) {
+			v.set(i, c)
 		}
 	}
 }
+
+func (v vclock) clone() vclock { return append(vclock(nil), v...) }
 
 // epoch is a (thread, clock) pair identifying one access.
 type epoch struct {
@@ -40,34 +57,60 @@ type epoch struct {
 }
 
 // happenedBefore reports whether the epoch is ordered before the clock.
-func (e epoch) happenedBefore(v *vclock) bool { return e.c <= v[e.t] }
+func (e epoch) happenedBefore(v vclock) bool { return e.c <= v.get(e.t) }
+
+// readRec is one thread's most recent read of a byte (clock 0 = none).
+type readRec struct {
+	clock  uint64
+	ins    trace.Ins
+	marked bool
+}
 
 type byteState struct {
 	lastWrite   epoch
 	hasWrite    bool
 	writeIns    trace.Ins
 	writeMarked bool
-	lastRead    [maxThreadsHB]uint64 // clock of last read per thread (0 = none)
-	readIns     [maxThreadsHB]trace.Ins
-	readMarked  [maxThreadsHB]bool
+	reads       []readRec // indexed by thread, grown on demand
+}
+
+func (st *byteState) setRead(t int, r readRec) {
+	for len(st.reads) <= t {
+		st.reads = append(st.reads, readRec{})
+	}
+	st.reads[t] = r
 }
 
 // FindRacesHB runs the happens-before race analysis over the trial trace.
 func FindRacesHB(tr *trace.Trace) []RaceReport {
-	var clocks [maxThreadsHB]vclock
-	for i := range clocks {
-		clocks[i][i] = 1
+	var clocks []vclock
+	clockOf := func(t int) *vclock {
+		for len(clocks) <= t {
+			clocks = append(clocks, nil)
+		}
+		if clocks[t] == nil {
+			var v vclock
+			v.set(t, 1)
+			clocks[t] = v
+		}
+		return &clocks[t]
 	}
-	lockVC := make(map[uint64]*vclock)
-	pubVC := make(map[uint64]*vclock) // per published address
+	lockVC := make(map[uint64]vclock)
+	pubVC := make(map[uint64]vclock) // per published address
+
 	bytes := make(map[uint64]*byteState)
 
-	type pairKey struct{ w, r trace.Ins }
+	// Reports are deduplicated per (write site, read site, access address):
+	// the same racy pair on a different object is a distinct finding.
+	type pairKey struct {
+		w, r trace.Ins
+		addr uint64
+	}
 	seen := make(map[pairKey]bool)
 	var out []RaceReport
 
-	report := func(w, r *trace.Access) {
-		k := pairKey{w: w.Ins, r: r.Ins}
+	report := func(w, r *trace.Access, addr uint64) {
+		k := pairKey{w: w.Ins, r: r.Ins, addr: addr}
 		if seen[k] {
 			return
 		}
@@ -75,20 +118,20 @@ func FindRacesHB(tr *trace.Trace) []RaceReport {
 		out = append(out, RaceReport{Write: *w, Read: *r})
 	}
 
-	for i := range tr.Accesses {
-		a := &tr.Accesses[i]
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		a := tr.At(i)
 		t := a.Thread
-		if t < 0 || t >= maxThreadsHB {
+		if t < 0 {
 			continue
 		}
-		vc := &clocks[t]
+		vc := clockOf(t)
 
 		if a.Atomic {
 			// Lock-word traffic: value != 0 is an acquire, 0 is a release.
 			if a.Kind == trace.Write && a.Val == 0 {
-				cp := *vc
-				lockVC[a.Addr] = &cp
-				vc[t]++
+				lockVC[a.Addr] = vc.clone()
+				vc.set(t, vc.get(t)+1)
 			} else if a.Kind == trace.Write {
 				if lv := lockVC[a.Addr]; lv != nil {
 					vc.join(lv)
@@ -97,9 +140,8 @@ func FindRacesHB(tr *trace.Trace) []RaceReport {
 			continue
 		}
 		if a.Marked && a.Kind == trace.Write {
-			cp := *vc
-			pubVC[a.Addr] = &cp
-			vc[t]++
+			pubVC[a.Addr] = vc.clone()
+			vc.set(t, vc.get(t)+1)
 			// Marked writes also participate in conflict checks below (a
 			// plain access on the other side is still a race).
 		}
@@ -116,7 +158,7 @@ func FindRacesHB(tr *trace.Trace) []RaceReport {
 			continue
 		}
 
-		cur := epoch{t: t, c: vc[t]}
+		cur := epoch{t: t, c: vc.get(t)}
 		for b := a.Addr; b < a.End(); b++ {
 			st := bytes[b]
 			if st == nil {
@@ -126,28 +168,27 @@ func FindRacesHB(tr *trace.Trace) []RaceReport {
 			if a.Kind == trace.Read {
 				if st.hasWrite && st.lastWrite.t != t &&
 					!(st.writeMarked && a.Marked) &&
-					!st.lastWrite.happenedBefore(vc) {
+					!st.lastWrite.happenedBefore(*vc) {
 					w := trace.Access{Thread: st.lastWrite.t, Ins: st.writeIns, Kind: trace.Write, Addr: b, Size: 1, Marked: st.writeMarked}
-					report(&w, a)
+					report(&w, &a, a.Addr)
 				}
-				st.lastRead[t] = cur.c
-				st.readIns[t] = a.Ins
-				st.readMarked[t] = a.Marked
+				st.setRead(t, readRec{clock: cur.c, ins: a.Ins, marked: a.Marked})
 			} else {
 				if st.hasWrite && st.lastWrite.t != t &&
 					!(st.writeMarked && a.Marked) &&
-					!st.lastWrite.happenedBefore(vc) {
+					!st.lastWrite.happenedBefore(*vc) {
 					w := trace.Access{Thread: st.lastWrite.t, Ins: st.writeIns, Kind: trace.Write, Addr: b, Size: 1, Marked: st.writeMarked}
-					report(&w, a)
+					report(&w, &a, a.Addr)
 				}
-				for ot := 0; ot < maxThreadsHB; ot++ {
-					if ot == t || st.lastRead[ot] == 0 {
+				for ot := range st.reads {
+					rr := st.reads[ot]
+					if ot == t || rr.clock == 0 {
 						continue
 					}
-					re := epoch{t: ot, c: st.lastRead[ot]}
-					if !(st.readMarked[ot] && a.Marked) && !re.happenedBefore(vc) {
-						r := trace.Access{Thread: ot, Ins: st.readIns[ot], Kind: trace.Read, Addr: b, Size: 1, Marked: st.readMarked[ot]}
-						report(a, &r)
+					re := epoch{t: ot, c: rr.clock}
+					if !(rr.marked && a.Marked) && !re.happenedBefore(*vc) {
+						r := trace.Access{Thread: ot, Ins: rr.ins, Kind: trace.Read, Addr: b, Size: 1, Marked: rr.marked}
+						report(&a, &r, a.Addr)
 					}
 				}
 				st.hasWrite = true

@@ -1,0 +1,44 @@
+package detect
+
+import (
+	"testing"
+
+	"snowboard/internal/trace"
+)
+
+// Regression: FindRacesHB used to cap its vector-clock state at 8 threads
+// and silently skip every access from thread ≥ 8, so this race between
+// threads 8 and 9 was invisible.
+func TestHBHighThreadIDsAnalyzed(t *testing.T) {
+	tr := traceOf(
+		acc(8, trace.Write, dIns1, 0x100, 8, 1),
+		acc(9, trace.Read, dIns2, 0x100, 8, 1),
+	)
+	races := FindRacesHB(tr)
+	if len(races) != 1 {
+		t.Fatalf("race between threads 8 and 9 missed: got %d reports", len(races))
+	}
+	if races[0].Write.Thread != 8 || races[0].Read.Thread != 9 {
+		t.Fatalf("race pair threads: %+v", races[0])
+	}
+}
+
+// Regression: FindRacesHB used to dedup reports by (write Ins, read Ins)
+// globally, so the same instruction pair racing on a second, unrelated
+// address produced only one report.
+func TestHBSamePairDistinctAddresses(t *testing.T) {
+	tr := traceOf(
+		acc(0, trace.Write, dIns1, 0x100, 8, 1),
+		acc(1, trace.Read, dIns2, 0x100, 8, 1),
+		acc(0, trace.Write, dIns1, 0x200, 8, 2),
+		acc(1, trace.Read, dIns2, 0x200, 8, 2),
+	)
+	races := FindRacesHB(tr)
+	if len(races) != 2 {
+		t.Fatalf("want one report per racing address, got %d: %+v", len(races), races)
+	}
+	addrs := map[uint64]bool{races[0].Read.Addr: true, races[1].Read.Addr: true}
+	if !addrs[0x100] || !addrs[0x200] {
+		t.Fatalf("reported addresses: %+v", races)
+	}
+}

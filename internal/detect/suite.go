@@ -111,9 +111,8 @@ func lastAccessByThread(tr *trace.Trace) map[int]trace.Ins {
 	if tr == nil {
 		return out
 	}
-	for i := range tr.Accesses {
-		a := &tr.Accesses[i]
-		out[a.Thread] = a.Ins
+	for i, n := 0, tr.Len(); i < n; i++ {
+		out[tr.ThreadAt(i)] = tr.InsAt(i)
 	}
 	return out
 }

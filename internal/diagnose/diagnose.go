@@ -42,14 +42,14 @@ func interesting(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue) map[int]
 			insOfInterest[is.ReadIns] = "racing read"
 		}
 	}
-	for i := range tr.Accesses {
-		a := &tr.Accesses[i]
+	for i, n := 0, tr.Len(); i < n; i++ {
+		a := tr.At(i)
 		if hint != nil {
-			if match(a, hint.Write, trace.Write) {
+			if match(&a, hint.Write, trace.Write) {
 				anchors[i] = "PMC write ➊" // ➊
 				continue
 			}
-			if match(a, hint.Read, trace.Read) {
+			if match(&a, hint.Read, trace.Read) {
 				anchors[i] = "PMC read ➋" // ➋
 				continue
 			}
@@ -75,7 +75,7 @@ func Render(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue, opt Options) 
 	show := make(map[int]bool)
 	for idx := range anchors {
 		for j := idx - opt.Context; j <= idx+opt.Context; j++ {
-			if j >= 0 && j < len(tr.Accesses) {
+			if j >= 0 && j < tr.Len() {
 				show[j] = true
 			}
 		}
@@ -97,7 +97,7 @@ func Render(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue, opt Options) 
 
 	rows := 0
 	prevShown := true
-	for i := range tr.Accesses {
+	for i, n := 0, tr.Len(); i < n; i++ {
 		if !show[i] {
 			if prevShown {
 				b.WriteString("    ...\n")
@@ -111,7 +111,7 @@ func Render(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue, opt Options) 
 			break
 		}
 		rows++
-		a := &tr.Accesses[i]
+		a := tr.At(i)
 		line := fmt.Sprintf("%s %s [%#x+%d] = %#x", a.Kind, a.Ins.Name(), a.Addr, a.Size, a.Val)
 		if tag, ok := anchors[i]; ok {
 			line += "   <== " + tag

@@ -208,13 +208,13 @@ func (e *Env) RunMany(progs []*corpus.Prog, sched vm.Scheduler, tr *trace.Trace)
 // the trace filtered to the executor thread's non-stack, non-lock-word
 // accesses (§4.1.1), plus the double-fetch leader markings used by
 // S-CH-DOUBLE.
-func (e *Env) Profile(prog *corpus.Prog) (accs []trace.Access, df map[int]bool, res Result) {
+func (e *Env) Profile(prog *corpus.Prog) (accs trace.Block, df map[int]bool, res Result) {
 	var tr trace.Trace
 	res = e.RunSequential(prog, &tr)
 	accs = trace.DefaultFilter(0).Apply(&tr)
-	df = trace.MarkDoubleFetches(accs)
+	df = trace.MarkDoubleFetches(&accs)
 	e.M.SetTrace(nil)
 	mProfileTests.Inc()
-	mProfileAccess.Add(int64(len(accs)))
+	mProfileAccess.Add(int64(accs.Len()))
 	return accs, df, res
 }

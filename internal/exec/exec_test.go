@@ -52,11 +52,11 @@ func TestSequentialProfileCollectsSharedAccesses(t *testing.T) {
 	if res.Crashed() {
 		t.Fatalf("profile crashed: %v", res.Faults)
 	}
-	if len(accs) == 0 {
+	if accs.Len() == 0 {
 		t.Fatal("no shared accesses profiled")
 	}
 	var sawPublishRead bool
-	for _, a := range accs {
+	for _, a := range accs.Accesses() {
 		if a.Stack {
 			t.Fatalf("stack access leaked through filter: %+v", a)
 		}
@@ -143,12 +143,10 @@ func TestSnapshotIsolationAcrossRuns(t *testing.T) {
 	if first.Len() != second.Len() {
 		t.Fatalf("runs from same snapshot differ in length: %d vs %d", first.Len(), second.Len())
 	}
-	for i := range first.Accesses {
-		a, b := first.Accesses[i], second.Accesses[i]
-		a.Seq, b.Seq = 0, 0
-		a.Locks, b.Locks = nil, nil
-		if a.Ins != b.Ins || a.Addr != b.Addr || a.Val != b.Val || a.Kind != b.Kind || a.Size != b.Size {
-			t.Fatalf("access %d differs across identical runs:\n%+v\n%+v", i, first.Accesses[i], second.Accesses[i])
+	for i := 0; i < first.Len(); i++ {
+		a, b := first.At(i), second.At(i)
+		if a != b {
+			t.Fatalf("access %d differs across identical runs:\n%+v\n%+v", i, a, b)
 		}
 	}
 }
@@ -184,13 +182,13 @@ func TestNewEnvWithSetupChangesInitialState(t *testing.T) {
 	}
 	// From the enriched state the reader finds the tunnel instead of
 	// registering one, so its profile is strictly shorter.
-	if len(accsSetup) >= len(accsPlain) {
-		t.Fatalf("setup state did not change behavior: %d vs %d accesses", len(accsSetup), len(accsPlain))
+	if accsSetup.Len() >= accsPlain.Len() {
+		t.Fatalf("setup state did not change behavior: %d vs %d accesses", accsSetup.Len(), accsPlain.Len())
 	}
 	// And the enriched environment must be repeatable like any snapshot.
 	again, _, _ := env.Profile(probe)
-	if len(again) != len(accsSetup) {
-		t.Fatalf("setup snapshot not stable: %d vs %d", len(again), len(accsSetup))
+	if again.Len() != accsSetup.Len() {
+		t.Fatalf("setup snapshot not stable: %d vs %d", again.Len(), accsSetup.Len())
 	}
 }
 
@@ -241,8 +239,8 @@ func TestCloneProfilesMatchOriginal(t *testing.T) {
 	if wres.Crashed() || gres.Crashed() {
 		t.Fatalf("profile crashed: %v / %v", wres.Faults, gres.Faults)
 	}
-	if len(want) == 0 || len(got) != len(want) {
-		t.Fatalf("clone profiled %d accesses, original %d", len(got), len(want))
+	if want.Len() == 0 || got.Len() != want.Len() {
+		t.Fatalf("clone profiled %d accesses, original %d", got.Len(), want.Len())
 	}
 	if !reflect.DeepEqual(want, got) {
 		t.Fatal("clone profile differs from original")
@@ -257,7 +255,7 @@ func TestClonesRunConcurrently(t *testing.T) {
 	want, _, _ := env.Profile(prog)
 
 	const n = 4
-	results := make([][]trace.Access, n)
+	results := make([]trace.Block, n)
 	done := make(chan int, n)
 	for i := 0; i < n; i++ {
 		clone := env.Clone()
@@ -271,8 +269,8 @@ func TestClonesRunConcurrently(t *testing.T) {
 		<-done
 	}
 	for i, accs := range results {
-		if len(accs) != len(want) {
-			t.Fatalf("clone %d profiled %d accesses, want %d", i, len(accs), len(want))
+		if accs.Len() != want.Len() {
+			t.Fatalf("clone %d profiled %d accesses, want %d", i, accs.Len(), want.Len())
 		}
 		if !reflect.DeepEqual(accs, want) {
 			t.Fatalf("clone %d profile differs from original", i)

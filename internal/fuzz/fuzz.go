@@ -262,8 +262,8 @@ func NewCoverage() *Coverage {
 func EdgesOf(tr *trace.Trace) map[[2]trace.Ins]bool {
 	out := make(map[[2]trace.Ins]bool)
 	var prev trace.Ins
-	for i := range tr.Accesses {
-		cur := tr.Accesses[i].Ins
+	for i, n := 0, tr.Len(); i < n; i++ {
+		cur := tr.InsAt(i)
 		if i > 0 {
 			out[[2]trace.Ins{prev, cur}] = true
 		}

@@ -222,11 +222,11 @@ func TestDoubleFetchVisibleInSequentialProfile(t *testing.T) {
 	}
 	k.M.SetTrace(nil)
 	accs := trace.DefaultFilter(0).Apply(&tr)
-	df := trace.MarkDoubleFetches(accs)
+	df := trace.MarkDoubleFetches(&accs)
 	testIns, _ := trace.LookupIns("rht_ptr:load_bkt_test")
 	found := false
 	for idx := range df {
-		if accs[idx].Ins == testIns {
+		if accs.InsAt(idx) == testIns {
 			found = true
 		}
 	}
@@ -252,7 +252,7 @@ func TestKernelVersionGatesRhtPtr(t *testing.T) {
 		k.M.SetTrace(nil)
 		testIns, _ := trace.LookupIns("rht_ptr:load_bkt_test")
 		useIns, _ := trace.LookupIns("rht_ptr:load_bkt_use")
-		for _, a := range tr.Accesses {
+		for _, a := range tr.Accesses() {
 			if a.Ins == testIns || a.Ins == useIns {
 				if a.Marked {
 					marked++

@@ -82,7 +82,7 @@ func EncodeProfiles(w io.Writer, profiles []Profile) error {
 		if err := putU(uint64(p.TestID)); err != nil {
 			return err
 		}
-		if err := trace.WriteBlock(bw, p.Accesses); err != nil {
+		if err := trace.WriteBlock(bw, &p.Accesses); err != nil {
 			return err
 		}
 		marks := make([]int, 0, len(p.DFLeader))
@@ -141,7 +141,7 @@ func DecodeProfiles(r io.Reader) ([]Profile, error) {
 			return nil, fmt.Errorf("%w: profile %d: %v", ErrBadProfiles, i, err)
 		}
 		nmarks, err := binary.ReadUvarint(br)
-		if err != nil || nmarks > uint64(len(accs)) {
+		if err != nil || nmarks > uint64(accs.Len()) {
 			return nil, fmt.Errorf("%w: profile %d: mark count", ErrBadProfiles, i)
 		}
 		df := make(map[int]bool, nmarks)
@@ -156,7 +156,7 @@ func DecodeProfiles(r io.Reader) ([]Profile, error) {
 			}
 			idx += int(d)
 			first = false
-			if idx < 0 || idx >= len(accs) {
+			if idx < 0 || idx >= accs.Len() {
 				return nil, fmt.Errorf("%w: profile %d: mark index %d out of range", ErrBadProfiles, i, idx)
 			}
 			df[idx] = true

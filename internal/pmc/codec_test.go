@@ -11,14 +11,12 @@ import (
 	"snowboard/internal/trace"
 )
 
-// randomAccesses builds n structurally valid accesses. Seq is the block
-// position — exactly what ReadBlock reassigns — so round-trips DeepEqual.
-func randomAccesses(rng *rand.Rand, n int) []trace.Access {
-	out := make([]trace.Access, n)
-	for i := range out {
+// randomBlock builds n structurally valid accesses in columnar form.
+func randomBlock(rng *rand.Rand, n int) trace.Block {
+	var out trace.Block
+	for i := 0; i < n; i++ {
 		a := trace.Access{
 			Thread: rng.Intn(4),
-			Seq:    i,
 			Ins:    trace.Ins(rng.Uint64() >> uint(rng.Intn(40))),
 			Addr:   rng.Uint64() >> uint(rng.Intn(32)),
 			Size:   uint8(1 + rng.Intn(8)),
@@ -37,9 +35,9 @@ func randomAccesses(rng *rand.Rand, n int) []trace.Access {
 				locks[j] = rng.Uint64() >> 16
 			}
 			sort.Slice(locks, func(x, y int) bool { return locks[x] < locks[y] })
-			a.Locks = locks
+			a.Locks = trace.InternLocks(locks)
 		}
-		out[i] = a
+		out.Append(a)
 	}
 	return out
 }
@@ -47,9 +45,9 @@ func randomAccesses(rng *rand.Rand, n int) []trace.Access {
 func randomProfiles(rng *rand.Rand, n int) []Profile {
 	out := make([]Profile, n)
 	for i := range out {
-		accs := randomAccesses(rng, rng.Intn(30))
+		accs := randomBlock(rng, rng.Intn(30))
 		df := make(map[int]bool)
-		for j := range accs {
+		for j := 0; j < accs.Len(); j++ {
 			if rng.Intn(6) == 0 {
 				df[j] = true
 			}
@@ -59,8 +57,30 @@ func randomProfiles(rng *rand.Rand, n int) []Profile {
 	return out
 }
 
+// profilesEqual compares profile sets access-by-access (the blocks' internal
+// column slices may differ in nil-ness/capacity after a decode).
+func profilesEqual(a, b []Profile) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].TestID != b[i].TestID || !reflect.DeepEqual(a[i].DFLeader, b[i].DFLeader) {
+			return false
+		}
+		if a[i].Accesses.Len() != b[i].Accesses.Len() {
+			return false
+		}
+		for j := 0; j < a[i].Accesses.Len(); j++ {
+			if a[i].Accesses.At(j) != b[i].Accesses.At(j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // TestProfilesRoundTrip: for seeded random profile sets, decode(encode(x))
-// deep-equals x and the encoding is canonical.
+// equals x and the encoding is canonical.
 func TestProfilesRoundTrip(t *testing.T) {
 	for seed := int64(1); seed <= 15; seed++ {
 		rng := rand.New(rand.NewSource(seed))
@@ -74,7 +94,7 @@ func TestProfilesRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: decode: %v", seed, err)
 		}
-		if !reflect.DeepEqual(got, profiles) {
+		if !profilesEqual(got, profiles) {
 			t.Fatalf("seed %d: decoded profiles differ", seed)
 		}
 

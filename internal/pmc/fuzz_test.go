@@ -29,7 +29,7 @@ func profilesFromBytes(data []byte) []Profile {
 			Val:  uint64(b[4]) | uint64(b[6])<<8,
 		}
 		slot := int(b[5]) % len(profiles)
-		profiles[slot].Accesses = append(profiles[slot].Accesses, acc)
+		profiles[slot].Accesses.Append(acc)
 	}
 	return profiles
 }

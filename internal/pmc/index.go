@@ -12,10 +12,18 @@ import (
 // start address lies in (a-8, a+n); the sorted outer index makes that a
 // binary search plus a bounded scan.
 
+// writeRec is one indexed write, self-contained: it copies the four access
+// features Algorithm 1 needs rather than pointing into a profile, so the
+// index works directly over columnar profile blocks.
 type writeRec struct {
-	acc  *trace.Access
-	test int
+	addr uint64
+	val  uint64
+	ins  trace.Ins
+	size uint8
+	test int32
 }
+
+func (w *writeRec) end() uint64 { return w.addr + uint64(w.size) }
 
 // maxAccessSize is the largest single access the VM can produce.
 const maxAccessSize = 8
@@ -39,10 +47,10 @@ func (ix *index) addWrite(w writeRec) {
 	if ix.sealed {
 		panic("pmc: addWrite after seal")
 	}
-	b := ix.buckets[w.acc.Addr]
+	b := ix.buckets[w.addr]
 	if b == nil {
-		b = &bucket{start: w.acc.Addr}
-		ix.buckets[w.acc.Addr] = b
+		b = &bucket{start: w.addr}
+		ix.buckets[w.addr] = b
 	}
 	b.writes = append(b.writes, w)
 }
@@ -55,32 +63,33 @@ func (ix *index) seal() {
 		ix.starts = append(ix.starts, s)
 		ws := b.writes
 		sort.SliceStable(ws, func(i, j int) bool {
-			if ws[i].acc.Size != ws[j].acc.Size {
-				return ws[i].acc.Size < ws[j].acc.Size
+			if ws[i].size != ws[j].size {
+				return ws[i].size < ws[j].size
 			}
-			return ws[i].acc.Ins < ws[j].acc.Ins
+			return ws[i].ins < ws[j].ins
 		})
 	}
 	sort.Slice(ix.starts, func(i, j int) bool { return ix.starts[i] < ix.starts[j] })
 	ix.sealed = true
 }
 
-// overlapping invokes fn for every write whose range overlaps the read's.
-func (ix *index) overlapping(r *trace.Access, fn func(writeRec)) {
+// overlapping invokes fn for every write whose range overlaps [rAddr, rEnd).
+func (ix *index) overlapping(rAddr, rEnd uint64, fn func(writeRec)) {
 	if !ix.sealed {
 		panic("pmc: overlapping before seal")
 	}
 	lo := uint64(0)
-	if r.Addr > maxAccessSize {
-		lo = r.Addr - maxAccessSize + 1
+	if rAddr > maxAccessSize {
+		lo = rAddr - maxAccessSize + 1
 	}
-	hi := r.End() // exclusive: writes starting at or past the read's end cannot overlap
+	hi := rEnd // exclusive: writes starting at or past the read's end cannot overlap
 	i := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] >= lo })
 	for ; i < len(ix.starts) && ix.starts[i] < hi; i++ {
 		b := ix.buckets[ix.starts[i]]
-		for _, w := range b.writes {
-			if w.acc.Overlaps(r) {
-				fn(w)
+		for j := range b.writes {
+			w := &b.writes[j]
+			if w.addr < rEnd && rAddr < w.end() {
+				fn(*w)
 			}
 		}
 	}

@@ -18,19 +18,20 @@ func genProfiles(rng *rand.Rand) []Profile {
 	n := 3 + rng.Intn(6)
 	profiles := make([]Profile, n)
 	for i := range profiles {
-		accs := make([]trace.Access, 4+rng.Intn(12))
-		for j := range accs {
+		var accs trace.Block
+		n := 4 + rng.Intn(12)
+		for j := 0; j < n; j++ {
 			kind := trace.Read
 			if rng.Intn(2) == 0 {
 				kind = trace.Write
 			}
-			accs[j] = trace.Access{
+			accs.Append(trace.Access{
 				Ins:  insPool[rng.Intn(len(insPool))],
 				Kind: kind,
 				Addr: 0x100 + uint64(rng.Intn(12)),
 				Size: uint8(1 + rng.Intn(8)),
 				Val:  uint64(rng.Intn(4)),
-			}
+			})
 		}
 		profiles[i] = Profile{TestID: i, Accesses: accs}
 	}

@@ -154,7 +154,7 @@ func (s *Set) Len() int { return len(s.Entries) }
 // with the double-fetch leader markings computed during profiling.
 type Profile struct {
 	TestID   int
-	Accesses []trace.Access
+	Accesses trace.Block
 	DFLeader map[int]bool // indexes into Accesses
 }
 
@@ -197,15 +197,24 @@ func IdentifyParallel(profiles []Profile, opt Options, workers int) *Set {
 }
 
 // buildIndex gathers every write access of the profiles into a sealed
-// ordered index, safe for concurrent overlap queries.
+// ordered index, safe for concurrent overlap queries. It iterates the
+// columnar profiles directly and stores self-contained value records, so
+// the index never holds pointers into (or forces materialization of) the
+// profile blocks.
 func buildIndex(profiles []Profile) *index {
 	idx := newIndex()
 	for pi := range profiles {
 		p := &profiles[pi]
-		for ai := range p.Accesses {
-			a := &p.Accesses[ai]
-			if a.Kind == trace.Write {
-				idx.addWrite(writeRec{acc: a, test: p.TestID})
+		n := p.Accesses.Len()
+		for ai := 0; ai < n; ai++ {
+			if p.Accesses.IsWriteAt(ai) {
+				idx.addWrite(writeRec{
+					addr: p.Accesses.AddrAt(ai),
+					val:  p.Accesses.ValAt(ai),
+					ins:  p.Accesses.InsAt(ai),
+					size: p.Accesses.SizeAt(ai),
+					test: int32(p.TestID),
+				})
 			}
 		}
 	}
@@ -216,27 +225,29 @@ func buildIndex(profiles []Profile) *index {
 // identifyReader scans one reader profile against the sealed write index,
 // adding every identified PMC to set (Algorithm 1 lines 6–14).
 func identifyReader(idx *index, p *Profile, opt Options, set *Set) {
-	for ai := range p.Accesses {
-		r := &p.Accesses[ai]
-		if r.Kind != trace.Read {
+	n := p.Accesses.Len()
+	for ai := 0; ai < n; ai++ {
+		if p.Accesses.KindAt(ai) != trace.Read {
 			continue
 		}
-		idx.overlapping(r, func(w writeRec) {
-			if !opt.AllowSelfPairs && w.test == p.TestID {
+		r := p.Accesses.At(ai)
+		idx.overlapping(r.Addr, r.End(), func(w writeRec) {
+			if !opt.AllowSelfPairs && int(w.test) == p.TestID {
 				return
 			}
-			lo, hi := r.OverlapRange(w.acc)
+			wAcc := trace.Access{Ins: w.ins, Kind: trace.Write, Addr: w.addr, Size: w.size, Val: w.val}
+			lo, hi := r.OverlapRange(&wAcc)
 			if !opt.SkipValueFilter {
-				if r.ProjectVal(lo, hi) == w.acc.ProjectVal(lo, hi) {
+				if r.ProjectVal(lo, hi) == wAcc.ProjectVal(lo, hi) {
 					return // the write would not change what the read sees
 				}
 			}
 			pmc := PMC{
-				Write:    Key{Ins: w.acc.Ins, Addr: w.acc.Addr, Size: w.acc.Size, Val: w.acc.Val},
+				Write:    Key{Ins: w.ins, Addr: w.addr, Size: w.size, Val: w.val},
 				Read:     Key{Ins: r.Ins, Addr: r.Addr, Size: r.Size, Val: r.Val},
 				DFLeader: p.DFLeader[ai],
 			}
-			set.Add(pmc, Pair{Writer: w.test, Reader: p.TestID})
+			set.Add(pmc, Pair{Writer: int(w.test), Reader: p.TestID})
 		})
 	}
 }

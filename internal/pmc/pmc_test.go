@@ -24,8 +24,8 @@ func rAcc(ins trace.Ins, addr uint64, size uint8, val uint64) trace.Access {
 
 func TestIdentifyBasicPMC(t *testing.T) {
 	profiles := []Profile{
-		{TestID: 0, Accesses: []trace.Access{wAcc(insW1, 0x100, 8, 42)}},
-		{TestID: 1, Accesses: []trace.Access{rAcc(insR1, 0x100, 8, 7)}},
+		{TestID: 0, Accesses: trace.BlockOf(wAcc(insW1, 0x100, 8, 42))},
+		{TestID: 1, Accesses: trace.BlockOf(rAcc(insR1, 0x100, 8, 7))},
 	}
 	set := Identify(profiles, DefaultOptions())
 	if set.Len() != 1 {
@@ -44,8 +44,8 @@ func TestIdentifyBasicPMC(t *testing.T) {
 func TestIdentifyValueFilter(t *testing.T) {
 	// Same value written and read: the write would not change the read.
 	profiles := []Profile{
-		{TestID: 0, Accesses: []trace.Access{wAcc(insW1, 0x100, 8, 42)}},
-		{TestID: 1, Accesses: []trace.Access{rAcc(insR1, 0x100, 8, 42)}},
+		{TestID: 0, Accesses: trace.BlockOf(wAcc(insW1, 0x100, 8, 42))},
+		{TestID: 1, Accesses: trace.BlockOf(rAcc(insR1, 0x100, 8, 42))},
 	}
 	if set := Identify(profiles, DefaultOptions()); set.Len() != 0 {
 		t.Fatalf("equal-value pair classified as PMC")
@@ -61,13 +61,13 @@ func TestIdentifyPartialOverlapProjection(t *testing.T) {
 	// Write [0x100,0x108)=0xAA...AA, read [0x104,0x106): projected bytes
 	// equal -> no PMC; projected bytes differ -> PMC.
 	profiles := []Profile{
-		{TestID: 0, Accesses: []trace.Access{wAcc(insW1, 0x100, 8, 0xAAAA_BBBB_CCCC_DDDD)}},
-		{TestID: 1, Accesses: []trace.Access{rAcc(insR1, 0x104, 2, 0xBBBB)}},
+		{TestID: 0, Accesses: trace.BlockOf(wAcc(insW1, 0x100, 8, 0xAAAA_BBBB_CCCC_DDDD))},
+		{TestID: 1, Accesses: trace.BlockOf(rAcc(insR1, 0x104, 2, 0xBBBB))},
 	}
 	if set := Identify(profiles, DefaultOptions()); set.Len() != 0 {
 		t.Fatal("projection-equal pair classified as PMC")
 	}
-	profiles[1].Accesses[0].Val = 0x1234
+	profiles[1].Accesses = trace.BlockOf(rAcc(insR1, 0x104, 2, 0x1234))
 	if set := Identify(profiles, DefaultOptions()); set.Len() != 1 {
 		t.Fatal("projection-different pair missed")
 	}
@@ -75,8 +75,8 @@ func TestIdentifyPartialOverlapProjection(t *testing.T) {
 
 func TestIdentifyNoOverlapNoPMC(t *testing.T) {
 	profiles := []Profile{
-		{TestID: 0, Accesses: []trace.Access{wAcc(insW1, 0x100, 4, 1)}},
-		{TestID: 1, Accesses: []trace.Access{rAcc(insR1, 0x104, 4, 2)}},
+		{TestID: 0, Accesses: trace.BlockOf(wAcc(insW1, 0x100, 4, 1))},
+		{TestID: 1, Accesses: trace.BlockOf(rAcc(insR1, 0x104, 4, 2))},
 	}
 	if set := Identify(profiles, DefaultOptions()); set.Len() != 0 {
 		t.Fatal("disjoint ranges produced a PMC")
@@ -85,10 +85,10 @@ func TestIdentifyNoOverlapNoPMC(t *testing.T) {
 
 func TestIdentifySelfPairs(t *testing.T) {
 	profiles := []Profile{
-		{TestID: 0, Accesses: []trace.Access{
+		{TestID: 0, Accesses: trace.BlockOf(
 			wAcc(insW1, 0x100, 8, 1),
 			rAcc(insR1, 0x100, 8, 2),
-		}},
+		)},
 	}
 	set := Identify(profiles, DefaultOptions())
 	if set.Len() != 1 {
@@ -103,10 +103,10 @@ func TestIdentifySelfPairs(t *testing.T) {
 
 func TestIdentifyDFLeaderPropagates(t *testing.T) {
 	profiles := []Profile{
-		{TestID: 0, Accesses: []trace.Access{wAcc(insW1, 0x100, 8, 1)}},
+		{TestID: 0, Accesses: trace.BlockOf(wAcc(insW1, 0x100, 8, 1))},
 		{
 			TestID:   1,
-			Accesses: []trace.Access{rAcc(insR1, 0x100, 8, 2), rAcc(insR2, 0x100, 8, 2)},
+			Accesses: trace.BlockOf(rAcc(insR1, 0x100, 8, 2), rAcc(insR2, 0x100, 8, 2)),
 			DFLeader: map[int]bool{0: true},
 		},
 	}
@@ -134,8 +134,8 @@ func TestPairCapAndCount(t *testing.T) {
 	n := MaxPairsPerPMC + 10
 	for i := 0; i < n; i++ {
 		profiles = append(profiles,
-			Profile{TestID: 2 * i, Accesses: []trace.Access{wAcc(insW1, 0x100, 8, 1)}},
-			Profile{TestID: 2*i + 1, Accesses: []trace.Access{rAcc(insR1, 0x100, 8, 2)}},
+			Profile{TestID: 2 * i, Accesses: trace.BlockOf(wAcc(insW1, 0x100, 8, 1))},
+			Profile{TestID: 2*i + 1, Accesses: trace.BlockOf(rAcc(insR1, 0x100, 8, 2))},
 		)
 	}
 	set := Identify(profiles, DefaultOptions())
@@ -173,7 +173,8 @@ func TestIndexAgainstBruteForce(t *testing.T) {
 		}
 		ix := newIndex()
 		for i := range writes {
-			ix.addWrite(writeRec{acc: &writes[i], test: i})
+			w := &writes[i]
+			ix.addWrite(writeRec{addr: w.Addr, val: w.Val, ins: w.Ins, size: w.Size, test: int32(i)})
 		}
 		ix.seal()
 		if ix.writeCount() != len(writes) {
@@ -182,7 +183,7 @@ func TestIndexAgainstBruteForce(t *testing.T) {
 		for ri := range reads {
 			r := &reads[ri]
 			got := make(map[int]int)
-			ix.overlapping(r, func(w writeRec) { got[w.test]++ })
+			ix.overlapping(r.Addr, r.End(), func(w writeRec) { got[int(w.test)]++ })
 			want := make(map[int]int)
 			for wi := range writes {
 				if writes[wi].Overlaps(r) {
@@ -217,8 +218,8 @@ func TestIdentifyIgnoresWriteWritePairs(t *testing.T) {
 	// Two writes never form a PMC by themselves (the paper: "such
 	// situations still require a read after a write").
 	profiles := []Profile{
-		{TestID: 0, Accesses: []trace.Access{wAcc(insW1, 0x100, 8, 1)}},
-		{TestID: 1, Accesses: []trace.Access{wAcc(insW2, 0x100, 8, 2)}},
+		{TestID: 0, Accesses: trace.BlockOf(wAcc(insW1, 0x100, 8, 1))},
+		{TestID: 1, Accesses: trace.BlockOf(wAcc(insW2, 0x100, 8, 2))},
 	}
 	if set := Identify(profiles, DefaultOptions()); set.Len() != 0 {
 		t.Fatal("write/write pair classified as PMC")

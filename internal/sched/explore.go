@@ -265,8 +265,8 @@ func (x *Explorer) findIncidental(tr *trace.Trace, current []pmc.PMC, rng *rand.
 	writesSeen := make(map[pmc.Key]int)
 	readsSeen := make(map[pmc.Key]int)
 	sigCount := make(map[sig]int)
-	for i := range tr.Accesses {
-		a := &tr.Accesses[i]
+	for i, n := 0, tr.Len(); i < n; i++ {
+		a := tr.At(i)
 		if a.Stack || a.Atomic {
 			continue
 		}
@@ -276,7 +276,7 @@ func (x *Explorer) findIncidental(tr *trace.Trace, current []pmc.PMC, rng *rand.
 		} else {
 			readsSeen[k]++
 		}
-		sigCount[sigOf(a)]++
+		sigCount[sigOf(&a)]++
 	}
 	var candidates []pmc.PMC
 	for key, e := range x.KnownPMCs.Entries {
@@ -333,28 +333,26 @@ func (x *Explorer) findIncidental(tr *trace.Trace, current []pmc.PMC, rng *rand.
 func ChannelExercised(tr *trace.Trace, hint *pmc.PMC) bool {
 	ws := sigOfKey(trace.Write, hint.Write)
 	rs := sigOfKey(trace.Read, hint.Read)
-	accs := tr.Accesses
 	lastWrite := -1
-	for i := range accs {
-		a := &accs[i]
-		if sigOf(a) == ws {
+	for i, n := 0, tr.Len(); i < n; i++ {
+		a := tr.At(i)
+		if sigOf(&a) == ws {
 			lastWrite = i
 			continue
 		}
-		if lastWrite >= 0 && sigOf(a) == rs && a.Thread != accs[lastWrite].Thread {
-			w := &accs[lastWrite]
-			if !a.Overlaps(w) {
+		if lastWrite >= 0 && sigOf(&a) == rs && a.Thread != tr.ThreadAt(lastWrite) {
+			w := tr.At(lastWrite)
+			if !a.Overlaps(&w) {
 				continue
 			}
-			lo, hi := a.OverlapRange(w)
+			lo, hi := a.OverlapRange(&w)
 			if a.ProjectVal(lo, hi) != w.ProjectVal(lo, hi) {
 				continue // someone else overwrote in between
 			}
 			// Verify no intervening write touched the overlap.
 			clean := true
 			for j := lastWrite + 1; j < i; j++ {
-				b := &accs[j]
-				if b.Kind == trace.Write && b.Addr < hi && b.End() > lo {
+				if tr.IsWriteAt(j) && tr.AddrAt(j) < hi && tr.EndAt(j) > lo {
 					clean = false
 					break
 				}

@@ -27,6 +27,10 @@ func sigOf(a *trace.Access) sig {
 	return sig{kind: a.Kind, ins: a.Ins, addr: a.Addr, size: a.Size}
 }
 
+func sigOfInfo(a *vm.AccessInfo) sig {
+	return sig{kind: a.Kind, ins: a.Ins, addr: a.Addr, size: a.Size}
+}
+
 func sigOfKey(kind trace.Kind, k pmc.Key) sig {
 	return sig{kind: kind, ins: k.Ins, addr: k.Addr, size: k.Size}
 }
@@ -122,7 +126,58 @@ func (p *SnowboardPolicy) isCurrent(s sig) bool {
 	return false
 }
 
-// Pick implements vm.Scheduler.
+// OnAccess implements vm.AccessSink: the whole per-access policy runs on the
+// accessing thread's goroutine, and a channel yield back to the machine loop
+// happens only when a preemption is actually requested (the rng-draw
+// sequence is exactly the one the old Pick-per-access flow performed).
+func (p *SnowboardPolicy) OnAccess(m *vm.Machine, t *vm.Thread, a vm.AccessInfo) bool {
+	if a.Stack {
+		// Stack accesses are excluded from memory tracking (§4.4.1);
+		// they are not PMC accesses, not flags, and not predecessors.
+		p.streak++
+		if p.streak >= livenessWindow {
+			p.streak = 0
+			p.Switches++
+			return true
+		}
+		return false
+	}
+	s := sigOfInfo(&a)
+	doSwitch := false
+	if p.isCurrent(s) {
+		// performed_pmc_access: remember the predecessor as a flag for
+		// future trials and maybe reschedule now.
+		if a.Thread < len(p.haveLast) && p.haveLast[a.Thread] {
+			f := p.last[a.Thread]
+			p.flags[f] = true
+			p.flagIns[f.ins] = true
+		}
+		doSwitch = p.rng.Intn(p.PerformedDenom) == 0
+	} else if p.flagIns[s.ins] && p.flags[s] && !p.fired[s] {
+		// pmc_access_coming: the next access is likely a PMC access.
+		// Each flag fires once per trial; many flags are on hot
+		// allocator sites and would otherwise thrash the schedule.
+		p.fired[s] = true
+		doSwitch = p.rng.Intn(p.FlagDenom) == 0
+	}
+	if a.Thread < len(p.last) {
+		p.last[a.Thread] = s
+		p.haveLast[a.Thread] = true
+	}
+	p.streak++
+	if p.streak >= livenessWindow {
+		doSwitch = true
+	}
+	if doSwitch {
+		p.streak = 0
+		p.Switches++
+		return true
+	}
+	return false
+}
+
+// Pick implements vm.Scheduler. Accesses reach it only when OnAccess asked
+// for a preemption.
 func (p *SnowboardPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
 	switch ev.Kind {
 	case vm.EvStart:
@@ -135,50 +190,7 @@ func (p *SnowboardPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.
 		p.streak = 0
 		return pickOther(m, last)
 	case vm.EvAccess:
-		a := ev.Access
-		if a.Stack {
-			// Stack accesses are excluded from memory tracking (§4.4.1);
-			// they are not PMC accesses, not flags, and not predecessors.
-			p.streak++
-			if p.streak >= livenessWindow {
-				p.streak = 0
-				p.Switches++
-				return pickOther(m, last)
-			}
-			return keepOrFirst(m, last)
-		}
-		s := sigOf(&a)
-		doSwitch := false
-		if p.isCurrent(s) {
-			// performed_pmc_access: remember the predecessor as a flag for
-			// future trials and maybe reschedule now.
-			if a.Thread < len(p.haveLast) && p.haveLast[a.Thread] {
-				f := p.last[a.Thread]
-				p.flags[f] = true
-				p.flagIns[f.ins] = true
-			}
-			doSwitch = p.rng.Intn(p.PerformedDenom) == 0
-		} else if p.flagIns[s.ins] && p.flags[s] && !p.fired[s] {
-			// pmc_access_coming: the next access is likely a PMC access.
-			// Each flag fires once per trial; many flags are on hot
-			// allocator sites and would otherwise thrash the schedule.
-			p.fired[s] = true
-			doSwitch = p.rng.Intn(p.FlagDenom) == 0
-		}
-		if a.Thread < len(p.last) {
-			p.last[a.Thread] = s
-			p.haveLast[a.Thread] = true
-		}
-		p.streak++
-		if p.streak >= livenessWindow {
-			doSwitch = true
-		}
-		if doSwitch {
-			p.streak = 0
-			p.Switches++
-			return pickOther(m, last)
-		}
-		return keepOrFirst(m, last)
+		return pickOther(m, last)
 	}
 	return keepOrFirst(m, last)
 }
@@ -214,6 +226,29 @@ func NewSKIPolicy(rng *rand.Rand, hint *pmc.PMC) *SKIPolicy {
 	return &SKIPolicy{rng: rng, insSet: ins, SharedPeriod: 16}
 }
 
+// OnAccess implements vm.AccessSink (same draw sequence as the old
+// Pick-per-access flow).
+func (p *SKIPolicy) OnAccess(m *vm.Machine, t *vm.Thread, a vm.AccessInfo) bool {
+	doSwitch := false
+	if p.insSet[a.Ins] {
+		// Instruction match regardless of the access's memory target.
+		doSwitch = p.rng.Intn(2) == 0
+	} else if !a.Stack && p.rng.Intn(p.SharedPeriod) == 0 {
+		// Any shared access is a candidate schedule point for SKI.
+		doSwitch = p.rng.Intn(2) == 0
+	}
+	p.streak++
+	if p.streak >= livenessWindow {
+		doSwitch = true
+	}
+	if doSwitch {
+		p.streak = 0
+		p.Switches++
+		return true
+	}
+	return false
+}
+
 // Pick implements vm.Scheduler.
 func (p *SKIPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
 	switch ev.Kind {
@@ -227,24 +262,7 @@ func (p *SKIPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread
 		p.streak = 0
 		return pickOther(m, last)
 	case vm.EvAccess:
-		doSwitch := false
-		if p.insSet[ev.Access.Ins] {
-			// Instruction match regardless of the access's memory target.
-			doSwitch = p.rng.Intn(2) == 0
-		} else if !ev.Access.Stack && p.rng.Intn(p.SharedPeriod) == 0 {
-			// Any shared access is a candidate schedule point for SKI.
-			doSwitch = p.rng.Intn(2) == 0
-		}
-		p.streak++
-		if p.streak >= livenessWindow {
-			doSwitch = true
-		}
-		if doSwitch {
-			p.streak = 0
-			p.Switches++
-			return pickOther(m, last)
-		}
-		return keepOrFirst(m, last)
+		return pickOther(m, last)
 	}
 	return keepOrFirst(m, last)
 }
@@ -264,6 +282,11 @@ func NewRandomWalkPolicy(rng *rand.Rand, period int) *RandomWalkPolicy {
 	return &RandomWalkPolicy{rng: rng, Period: period}
 }
 
+// OnAccess implements vm.AccessSink: one draw per access, switch on a hit.
+func (p *RandomWalkPolicy) OnAccess(m *vm.Machine, t *vm.Thread, a vm.AccessInfo) bool {
+	return p.rng.Intn(p.Period) == 0
+}
+
 // Pick implements vm.Scheduler.
 func (p *RandomWalkPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
 	switch ev.Kind {
@@ -275,10 +298,10 @@ func (p *RandomWalkPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm
 		return runnable[p.rng.Intn(len(runnable))]
 	case vm.EvBlocked, vm.EvDone, vm.EvFault, vm.EvYield:
 		return pickOther(m, last)
+	case vm.EvAccess:
+		// OnAccess already drew and asked for this preemption.
+		return pickOther(m, last)
 	default:
-		if p.rng.Intn(p.Period) == 0 {
-			return pickOther(m, last)
-		}
 		return keepOrFirst(m, last)
 	}
 }
@@ -304,16 +327,47 @@ func NewPCTPolicy(rng *rand.Rand, depth, horizon int) *PCTPolicy {
 	return &PCTPolicy{rng: rng, highIsZero: rng.Intn(2) == 0, changePts: pts}
 }
 
-// Pick implements vm.Scheduler.
-func (p *PCTPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
+// wantID returns the thread id currently holding the high priority.
+func (p *PCTPolicy) wantID() int {
+	if p.highIsZero {
+		return 0
+	}
+	return 1
+}
+
+// OnAccess implements vm.AccessSink. Each access advances the event index
+// (exactly as the old one-Pick-per-event flow did); a yield is requested
+// only when the running thread is no longer the one Pick would choose.
+func (p *PCTPolicy) OnAccess(m *vm.Machine, t *vm.Thread, a vm.AccessInfo) bool {
 	p.eventIndex++
 	if p.changePts[p.eventIndex] {
 		p.highIsZero = !p.highIsZero
 	}
-	want := 1
-	if p.highIsZero {
-		want = 0
+	want := p.wantID()
+	if t.ID == want {
+		return false
 	}
+	runnable := m.Runnable()
+	for _, th := range runnable {
+		if th.ID == want {
+			return true
+		}
+	}
+	// High-priority thread not runnable: Pick would fall back to the first
+	// runnable thread, so only yield if that is a different one.
+	return len(runnable) > 0 && runnable[0] != t
+}
+
+// Pick implements vm.Scheduler. Accesses were already counted by OnAccess;
+// every other event advances the index here, so each event is counted once.
+func (p *PCTPolicy) Pick(m *vm.Machine, last *vm.Thread, ev vm.Event) *vm.Thread {
+	if ev.Kind != vm.EvAccess {
+		p.eventIndex++
+		if p.changePts[p.eventIndex] {
+			p.highIsZero = !p.highIsZero
+		}
+	}
+	want := p.wantID()
 	runnable := m.Runnable()
 	if len(runnable) == 0 {
 		return nil

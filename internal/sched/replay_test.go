@@ -58,8 +58,8 @@ func TestReplayDeterministicTrace(t *testing.T) {
 	if tr1.Len() != tr2.Len() {
 		t.Fatalf("replay traces differ in length: %d vs %d", tr1.Len(), tr2.Len())
 	}
-	for i := range tr1.Accesses {
-		a, b := tr1.Accesses[i], tr2.Accesses[i]
+	for i := 0; i < tr1.Len(); i++ {
+		a, b := tr1.At(i), tr2.At(i)
 		if a.Ins != b.Ins || a.Addr != b.Addr || a.Val != b.Val || a.Thread != b.Thread {
 			t.Fatalf("replay diverged at access %d", i)
 		}

@@ -24,20 +24,21 @@ func (k Kind) String() string {
 // carries exactly the features the paper's profiler records (§4.1: address
 // range accessed, type of access, value read/written, and instruction
 // address) plus the bookkeeping the detectors need (thread, sequence number,
-// lockset, RCU section, atomicity, stack membership).
+// lockset, RCU section, atomicity, stack membership). Access values are
+// comparable: the lockset is an interned id, not a shared slice.
 type Access struct {
-	Thread int      // kernel thread (vCPU) that performed the access
-	Seq    int      // position in the trial's global access order
-	Ins    Ins      // static access site
-	Kind   Kind     // Read or Write
-	Addr   uint64   // start of the accessed range
-	Size   uint8    // range length in bytes (1..8)
-	Val    uint64   // value read or written, little-endian, low Size bytes
-	Atomic bool     // lock-word access issued by a synchronization primitive
-	Marked bool     // annotated access (READ_ONCE/WRITE_ONCE/rcu_dereference/rcu_assign_pointer)
-	Stack  bool     // falls within the accessing thread's kernel stack
-	RCU    bool     // performed inside an RCU read-side critical section
-	Locks  []uint64 // addresses of locks held, sorted ascending; shared slice, do not mutate
+	Thread int     // kernel thread (vCPU) that performed the access
+	Seq    int     // position in the trial's global access order
+	Ins    Ins     // static access site
+	Kind   Kind    // Read or Write
+	Addr   uint64  // start of the accessed range
+	Size   uint8   // range length in bytes (1..8)
+	Val    uint64  // value read or written, little-endian, low Size bytes
+	Atomic bool    // lock-word access issued by a synchronization primitive
+	Marked bool    // annotated access (READ_ONCE/WRITE_ONCE/rcu_dereference/rcu_assign_pointer)
+	Stack  bool    // falls within the accessing thread's kernel stack
+	RCU    bool    // performed inside an RCU read-side critical section
+	Locks  LockSet // interned set of lock addresses held during the access
 }
 
 // End returns the first address past the accessed range.
@@ -51,12 +52,17 @@ func (a *Access) Overlaps(b *Access) bool {
 // OverlapRange returns the intersection [lo, hi) of the two ranges, valid
 // only when Overlaps is true.
 func (a *Access) OverlapRange(b *Access) (lo, hi uint64) {
-	lo, hi = a.Addr, a.End()
-	if b.Addr > lo {
-		lo = b.Addr
+	return overlapRange(a.Addr, a.End(), b.Addr, b.End())
+}
+
+// overlapRange intersects [aLo, aHi) and [bLo, bHi).
+func overlapRange(aLo, aHi, bLo, bHi uint64) (lo, hi uint64) {
+	lo, hi = aLo, aHi
+	if bLo > lo {
+		lo = bLo
 	}
-	if b.End() < hi {
-		hi = b.End()
+	if bHi < hi {
+		hi = bHi
 	}
 	return lo, hi
 }
@@ -69,9 +75,14 @@ func (a *Access) ProjectVal(lo, hi uint64) uint64 {
 	if lo < a.Addr || hi > a.End() || lo >= hi {
 		panic(fmt.Sprintf("trace: ProjectVal range [%#x,%#x) outside access [%#x,%#x)", lo, hi, a.Addr, a.End()))
 	}
-	shift := (lo - a.Addr) * 8
+	return projectVal(a.Addr, a.Val, lo, hi)
+}
+
+// projectVal projects val (stored at addr) onto the byte range [lo, hi).
+func projectVal(addr, val, lo, hi uint64) uint64 {
+	shift := (lo - addr) * 8
 	width := (hi - lo) * 8
-	v := a.Val >> shift
+	v := val >> shift
 	if width < 64 {
 		v &= (1 << width) - 1
 	}
@@ -79,50 +90,12 @@ func (a *Access) ProjectVal(lo, hi uint64) uint64 {
 }
 
 // SharesLock reports whether the two accesses were performed while holding
-// at least one common lock. Both lock slices are sorted ascending.
+// at least one common lock.
 func (a *Access) SharesLock(b *Access) bool {
-	i, j := 0, 0
-	for i < len(a.Locks) && j < len(b.Locks) {
-		switch {
-		case a.Locks[i] == b.Locks[j]:
-			return true
-		case a.Locks[i] < b.Locks[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return false
+	return a.Locks.SharesWith(b.Locks)
 }
 
 // String renders the access in the compact form used by reports and tests.
 func (a *Access) String() string {
 	return fmt.Sprintf("t%d %s %s [%#x+%d]=%#x", a.Thread, a.Kind, a.Ins.Name(), a.Addr, a.Size, a.Val)
-}
-
-// Trace is the ordered sequence of accesses collected during one execution,
-// either a sequential profiling run or one trial of a concurrent test.
-type Trace struct {
-	Accesses []Access
-}
-
-// Append records one access, assigning its sequence number.
-func (tr *Trace) Append(a Access) {
-	a.Seq = len(tr.Accesses)
-	tr.Accesses = append(tr.Accesses, a)
-}
-
-// Len returns the number of recorded accesses.
-func (tr *Trace) Len() int { return len(tr.Accesses) }
-
-// Reset drops all recorded accesses but keeps the backing storage.
-func (tr *Trace) Reset() { tr.Accesses = tr.Accesses[:0] }
-
-// ByThread splits the trace into per-thread sub-traces preserving order.
-func (tr *Trace) ByThread() map[int][]Access {
-	out := make(map[int][]Access)
-	for _, a := range tr.Accesses {
-		out[a.Thread] = append(out[a.Thread], a)
-	}
-	return out
 }

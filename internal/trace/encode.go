@@ -29,6 +29,9 @@ import (
 //	size   u8
 //	val    uvarint
 //	locks  uvarint n, then n svarint deltas   (only when bit5 set)
+//
+// Locksets travel as explicit address lists: the in-memory interned
+// LockSet ids are process-local and never serialized.
 
 const (
 	encMagic   = "SBTR"
@@ -52,8 +55,8 @@ const (
 	fLocks
 )
 
-// Encode writes the trace's accesses to w in the compact format.
-func Encode(w io.Writer, accs []Access) error {
+// Encode writes the block's accesses to w in the compact format.
+func Encode(w io.Writer, b *Block) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(encMagic); err != nil {
 		return err
@@ -61,7 +64,7 @@ func Encode(w io.Writer, accs []Access) error {
 	if err := bw.WriteByte(encVersion); err != nil {
 		return err
 	}
-	if err := WriteBlock(bw, accs); err != nil {
+	if err := WriteBlock(bw, b); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -71,7 +74,7 @@ func Encode(w io.Writer, accs []Access) error {
 // no magic or version) to bw. It is the embeddable form of Encode: larger
 // artifact formats — profile sets, store artifacts — frame several blocks
 // inside their own envelope. The caller owns flushing bw.
-func WriteBlock(bw *bufio.Writer, accs []Access) error {
+func WriteBlock(bw *bufio.Writer, b *Block) error {
 	var scratch [binary.MaxVarintLen64]byte
 	putU := func(v uint64) error {
 		n := binary.PutUvarint(scratch[:], v)
@@ -83,56 +86,57 @@ func WriteBlock(bw *bufio.Writer, accs []Access) error {
 		_, err := bw.Write(scratch[:n])
 		return err
 	}
-	if err := putU(uint64(len(accs))); err != nil {
+	if err := putU(uint64(b.Len())); err != nil {
 		return err
 	}
 	prevAddr := uint64(0)
-	for i := range accs {
-		a := &accs[i]
+	for i := 0; i < b.Len(); i++ {
+		m := b.meta[i]
+		locks := b.locks[i].view()
 		var flags byte
-		if a.Kind == Write {
+		if m&metaWrite != 0 {
 			flags |= fKindWrite
 		}
-		if a.Atomic {
+		if m&metaAtomic != 0 {
 			flags |= fAtomic
 		}
-		if a.Marked {
+		if m&metaMarked != 0 {
 			flags |= fMarked
 		}
-		if a.Stack {
+		if m&metaStack != 0 {
 			flags |= fStack
 		}
-		if a.RCU {
+		if m&metaRCU != 0 {
 			flags |= fRCU
 		}
-		if len(a.Locks) > 0 {
+		if len(locks) > 0 {
 			flags |= fLocks
 		}
 		if err := bw.WriteByte(flags); err != nil {
 			return err
 		}
-		if err := putU(uint64(a.Thread)); err != nil {
+		if err := putU(uint64(m >> metaThreadShift)); err != nil {
 			return err
 		}
-		if err := putU(uint64(a.Ins)); err != nil {
+		if err := putU(uint64(b.ins[i])); err != nil {
 			return err
 		}
-		if err := putS(int64(a.Addr) - int64(prevAddr)); err != nil {
+		if err := putS(int64(b.addrs[i]) - int64(prevAddr)); err != nil {
 			return err
 		}
-		prevAddr = a.Addr
-		if err := bw.WriteByte(a.Size); err != nil {
+		prevAddr = b.addrs[i]
+		if err := bw.WriteByte(byte(m & metaSizeMask)); err != nil {
 			return err
 		}
-		if err := putU(a.Val); err != nil {
+		if err := putU(b.vals[i]); err != nil {
 			return err
 		}
-		if len(a.Locks) > 0 {
-			if err := putU(uint64(len(a.Locks))); err != nil {
+		if len(locks) > 0 {
+			if err := putU(uint64(len(locks))); err != nil {
 				return err
 			}
 			prevLock := uint64(0)
-			for _, l := range a.Locks {
+			for _, l := range locks {
 				if err := putS(int64(l) - int64(prevLock)); err != nil {
 					return err
 				}
@@ -143,34 +147,36 @@ func WriteBlock(bw *bufio.Writer, accs []Access) error {
 	return nil
 }
 
-// Decode parses a compact trace. Sequence numbers are reassigned in order.
-func Decode(r io.Reader) ([]Access, error) {
+// Decode parses a compact trace. Sequence numbers are implicit in order.
+func Decode(r io.Reader) (Block, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		return Block{}, fmt.Errorf("%w: %v", ErrBadTrace, err)
 	}
 	if string(magic[:]) != encMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+		return Block{}, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
 	}
 	ver, err := br.ReadByte()
 	if err != nil || ver != encVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrBadTrace, ver)
+		return Block{}, fmt.Errorf("%w: version %d", ErrBadTrace, ver)
 	}
 	return ReadBlock(br)
 }
 
 // ReadBlock parses one bare record stream written by WriteBlock, leaving br
 // positioned after the block's last record. Decoding errors never panic;
-// any malformed input yields an error wrapping ErrBadTrace.
-func ReadBlock(br *bufio.Reader) ([]Access, error) {
+// any malformed input yields an error wrapping ErrBadTrace. Decoded
+// locksets are interned.
+func ReadBlock(br *bufio.Reader) (Block, error) {
+	var out Block
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: count: %v", ErrBadTrace, err)
+		return out, fmt.Errorf("%w: count: %v", ErrBadTrace, err)
 	}
 	const sanityMax = 1 << 28
 	if count > sanityMax {
-		return nil, fmt.Errorf("%w: implausible count %d", ErrBadTrace, count)
+		return out, fmt.Errorf("%w: implausible count %d", ErrBadTrace, count)
 	}
 	// The claimed count is untrusted until records actually arrive: clamp
 	// the preallocation so a short hostile input can't demand gigabytes.
@@ -178,72 +184,74 @@ func ReadBlock(br *bufio.Reader) ([]Access, error) {
 	if capHint > 4096 {
 		capHint = 4096
 	}
-	out := make([]Access, 0, capHint)
+	out.ins = make([]Ins, 0, capHint)
+	out.addrs = make([]uint64, 0, capHint)
+	out.vals = make([]uint64, 0, capHint)
+	out.meta = make([]uint32, 0, capHint)
+	out.locks = make([]LockSet, 0, capHint)
 	prevAddr := uint64(0)
+	var lockBuf []uint64
 	for i := uint64(0); i < count; i++ {
 		flags, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("%w: flags: %v", ErrBadTrace, err)
+			return out, fmt.Errorf("%w: flags: %v", ErrBadTrace, err)
 		}
 		th, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: thread: %v", ErrBadTrace, err)
+			return out, fmt.Errorf("%w: thread: %v", ErrBadTrace, err)
+		}
+		if th > maxThread {
+			return out, fmt.Errorf("%w: thread %d", ErrBadTrace, th)
 		}
 		ins, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: ins: %v", ErrBadTrace, err)
+			return out, fmt.Errorf("%w: ins: %v", ErrBadTrace, err)
 		}
 		dAddr, err := binary.ReadVarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: addr: %v", ErrBadTrace, err)
+			return out, fmt.Errorf("%w: addr: %v", ErrBadTrace, err)
 		}
 		addr := uint64(int64(prevAddr) + dAddr)
 		prevAddr = addr
 		size, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("%w: size: %v", ErrBadTrace, err)
+			return out, fmt.Errorf("%w: size: %v", ErrBadTrace, err)
 		}
 		if size == 0 || size > 8 {
-			return nil, fmt.Errorf("%w: size %d", ErrBadTrace, size)
+			return out, fmt.Errorf("%w: size %d", ErrBadTrace, size)
 		}
 		val, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: val: %v", ErrBadTrace, err)
+			return out, fmt.Errorf("%w: val: %v", ErrBadTrace, err)
 		}
-		a := Access{
-			Thread: int(th),
-			Seq:    int(i),
-			Ins:    Ins(ins),
-			Addr:   addr,
-			Size:   size,
-			Val:    val,
-			Atomic: flags&fAtomic != 0,
-			Marked: flags&fMarked != 0,
-			Stack:  flags&fStack != 0,
-			RCU:    flags&fRCU != 0,
-		}
+		var kind Kind
 		if flags&fKindWrite != 0 {
-			a.Kind = Write
+			kind = Write
 		}
+		var ls LockSet
 		if flags&fLocks != 0 {
 			n, err := binary.ReadUvarint(br)
 			if err != nil || n > 64 {
-				return nil, fmt.Errorf("%w: lock count", ErrBadTrace)
+				return out, fmt.Errorf("%w: lock count", ErrBadTrace)
 			}
-			locks := make([]uint64, 0, n)
+			lockBuf = lockBuf[:0]
 			prevLock := uint64(0)
 			for j := uint64(0); j < n; j++ {
 				d, err := binary.ReadVarint(br)
 				if err != nil {
-					return nil, fmt.Errorf("%w: lock: %v", ErrBadTrace, err)
+					return out, fmt.Errorf("%w: lock: %v", ErrBadTrace, err)
 				}
 				l := uint64(int64(prevLock) + d)
-				locks = append(locks, l)
+				lockBuf = append(lockBuf, l)
 				prevLock = l
 			}
-			a.Locks = locks
+			ls = InternLocks(lockBuf)
 		}
-		out = append(out, a)
+		out.ins = append(out.ins, Ins(ins))
+		out.addrs = append(out.addrs, addr)
+		out.vals = append(out.vals, val)
+		out.meta = append(out.meta, packMeta(int(th), kind, size, flags&fAtomic != 0, flags&fMarked != 0, flags&fStack != 0, flags&fRCU != 0))
+		out.locks = append(out.locks, ls)
 	}
 	return out, nil
 }

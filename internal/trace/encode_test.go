@@ -7,12 +7,11 @@ import (
 	"testing"
 )
 
-func randomAccesses(rng *rand.Rand, n int) []Access {
-	out := make([]Access, 0, n)
+func randomBlock(rng *rand.Rand, n int) Block {
+	var out Block
 	for i := 0; i < n; i++ {
 		a := Access{
 			Thread: rng.Intn(3),
-			Seq:    i,
 			Ins:    Ins(rng.Uint32()),
 			Addr:   0x10000 + uint64(rng.Intn(1<<20)),
 			Size:   uint8(rng.Intn(8) + 1),
@@ -25,10 +24,12 @@ func randomAccesses(rng *rand.Rand, n int) []Access {
 		if a.Kind = Read; rng.Intn(2) == 0 {
 			a.Kind = Write
 		}
+		var locks []uint64
 		for j := 0; j < rng.Intn(3); j++ {
-			a.Locks = append(a.Locks, uint64(0x100*(j+1)))
+			locks = append(locks, uint64(0x100*(j+1)))
 		}
-		out = append(out, a)
+		a.Locks = InternLocks(locks)
+		out.Append(a)
 	}
 	return out
 }
@@ -36,33 +37,22 @@ func randomAccesses(rng *rand.Rand, n int) []Access {
 func TestEncodeDecodeRoundtrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for round := 0; round < 20; round++ {
-		accs := randomAccesses(rng, rng.Intn(200))
+		accs := randomBlock(rng, rng.Intn(200))
 		var buf bytes.Buffer
-		if err := Encode(&buf, accs); err != nil {
+		if err := Encode(&buf, &accs); err != nil {
 			t.Fatal(err)
 		}
 		got, err := Decode(&buf)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(got) != len(accs) {
-			t.Fatalf("round %d: %d != %d", round, len(got), len(accs))
+		if got.Len() != accs.Len() {
+			t.Fatalf("round %d: %d != %d", round, got.Len(), accs.Len())
 		}
-		for i := range accs {
-			w, g := accs[i], got[i]
-			if w.Thread != g.Thread || w.Ins != g.Ins || w.Kind != g.Kind ||
-				w.Addr != g.Addr || w.Size != g.Size || w.Val != g.Val ||
-				w.Atomic != g.Atomic || w.Marked != g.Marked ||
-				w.Stack != g.Stack || w.RCU != g.RCU {
+		for i := 0; i < accs.Len(); i++ {
+			w, g := accs.At(i), got.At(i)
+			if w != g {
 				t.Fatalf("round %d access %d:\nwant %+v\ngot  %+v", round, i, w, g)
-			}
-			if len(w.Locks) != len(g.Locks) {
-				t.Fatalf("locks differ at %d", i)
-			}
-			for j := range w.Locks {
-				if w.Locks[j] != g.Locks[j] {
-					t.Fatalf("lock %d differs at %d", j, i)
-				}
 			}
 		}
 	}
@@ -84,9 +74,9 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 }
 
 func TestDecodeRejectsBadSize(t *testing.T) {
-	accs := []Access{{Addr: 0x100, Size: 8, Val: 1}}
+	accs := BlockOf(Access{Addr: 0x100, Size: 8, Val: 1})
 	var buf bytes.Buffer
-	if err := Encode(&buf, accs); err != nil {
+	if err := Encode(&buf, &accs); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
@@ -98,12 +88,29 @@ func TestDecodeRejectsBadSize(t *testing.T) {
 	}
 }
 
+func TestDecodeRejectsHugeThread(t *testing.T) {
+	// A thread id above the 16-bit packed-meta limit must be rejected, not
+	// silently truncated into another thread's identity.
+	var buf bytes.Buffer
+	buf.WriteString("SBTR\x01")
+	buf.WriteByte(1)                    // count
+	buf.WriteByte(0)                    // flags
+	buf.Write([]byte{0x80, 0x80, 0x08}) // thread uvarint = 0x20000
+	buf.WriteByte(0x01)                 // ins
+	buf.WriteByte(0x02)                 // addr delta
+	buf.WriteByte(8)                    // size
+	buf.WriteByte(0x00)                 // val
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("oversized thread id accepted")
+	}
+}
+
 func TestEncodeCompactness(t *testing.T) {
 	// Spatially clustered accesses (the common case) must encode far
 	// smaller than the naive 40+ bytes per record.
-	var accs []Access
+	var accs Block
 	for i := 0; i < 1000; i++ {
-		accs = append(accs, Access{
+		accs.Append(Access{
 			Ins:  Ins(0x1234),
 			Addr: 0x100000 + uint64(i%64)*8,
 			Size: 8,
@@ -111,14 +118,47 @@ func TestEncodeCompactness(t *testing.T) {
 		})
 	}
 	var buf bytes.Buffer
-	if err := Encode(&buf, accs); err != nil {
+	if err := Encode(&buf, &accs); err != nil {
 		t.Fatal(err)
 	}
-	perRecord := float64(buf.Len()) / float64(len(accs))
+	perRecord := float64(buf.Len()) / float64(accs.Len())
 	if perRecord > 16 {
 		t.Fatalf("encoding too fat: %.1f bytes/record", perRecord)
 	}
 	if !strings.HasPrefix(buf.String(), "SBTR") {
 		t.Fatal("magic missing")
+	}
+}
+
+// TestLockSetAliasingImmunity proves the old "shared slice, do not mutate"
+// footgun on Access.Locks is gone by construction: mutating the slice a
+// decoded trace hands back cannot corrupt sibling accesses or the intern
+// table, because Addrs always returns a fresh copy.
+func TestLockSetAliasingImmunity(t *testing.T) {
+	locks := []uint64{0x100, 0x200}
+	accs := BlockOf(
+		Access{Addr: 0x10, Size: 8, Locks: InternLocks(locks)},
+		Access{Addr: 0x20, Size: 8, Locks: InternLocks(locks)},
+	)
+	var buf bytes.Buffer
+	if err := Encode(&buf, &accs); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dec.At(0).Locks.Addrs()
+	got[0] = 0xdead
+	got[1] = 0xbeef
+	for i := 0; i < dec.Len(); i++ {
+		if a := dec.At(i).Locks.Addrs(); a[0] != 0x100 || a[1] != 0x200 {
+			t.Fatalf("sibling access %d lockset corrupted: %#x", i, a)
+		}
+	}
+	// The intern table itself is untouched: a fresh interning of the same
+	// set still resolves to the original addresses.
+	if a := InternLocks(locks).Addrs(); a[0] != 0x100 || a[1] != 0x200 {
+		t.Fatalf("intern table corrupted: %#x", a)
 	}
 }

@@ -39,21 +39,28 @@ func DefaultFilter(thread int) Filter {
 	return Filter{Thread: thread}
 }
 
-// Apply returns the accesses of tr that pass the filter, preserving order.
-func (f Filter) Apply(tr *Trace) []Access {
-	out := make([]Access, 0, len(tr.Accesses))
-	for _, a := range tr.Accesses {
-		if f.Thread >= 0 && a.Thread != f.Thread {
+// Apply returns the accesses of tr that pass the filter, preserving order,
+// as a fresh columnar block.
+func (f Filter) Apply(tr *Trace) Block {
+	var out Block
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		m := tr.meta[i]
+		if f.Thread >= 0 && int(m>>metaThreadShift) != f.Thread {
 			continue
 		}
-		if a.Stack && !f.KeepStack {
+		if m&metaStack != 0 && !f.KeepStack {
 			continue
 		}
-		if a.Atomic && !f.KeepAtomics {
+		if m&metaAtomic != 0 && !f.KeepAtomics {
 			continue
 		}
-		out = append(out, a)
-		if f.MaxPerProfile > 0 && len(out) >= f.MaxPerProfile {
+		out.ins = append(out.ins, tr.ins[i])
+		out.addrs = append(out.addrs, tr.addrs[i])
+		out.vals = append(out.vals, tr.vals[i])
+		out.meta = append(out.meta, m)
+		out.locks = append(out.locks, tr.locks[i])
+		if f.MaxPerProfile > 0 && out.Len() >= f.MaxPerProfile {
 			break
 		}
 	}
@@ -64,38 +71,35 @@ func (f Filter) Apply(tr *Trace) []Access {
 // pair of read accesses by *different* instructions to overlapping memory
 // that occur with no intervening write to that memory and read identical
 // projected values, the first read is a double-fetch leader (§4.3,
-// S-CH-DOUBLE). The returned set contains the indexes into accs of leader
-// accesses.
-func MarkDoubleFetches(accs []Access) map[int]bool {
+// S-CH-DOUBLE). The returned set contains the indexes into the block of
+// leader accesses.
+func MarkDoubleFetches(b *Block) map[int]bool {
 	leaders := make(map[int]bool)
 	// For each read, scan forward for a matching second read; stop the scan
 	// at the first write overlapping the region. Profiles are short enough
 	// (thousands of accesses) that the quadratic worst case is irrelevant,
 	// and the write cutoff keeps the common case near-linear.
-	for i := range accs {
-		first := &accs[i]
-		if first.Kind != Read {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if b.IsWriteAt(i) {
 			continue
 		}
 	scan:
-		for j := i + 1; j < len(accs); j++ {
-			second := &accs[j]
-			if !first.Overlaps(second) {
+		for j := i + 1; j < n; j++ {
+			if !b.OverlapsAt(i, j) {
 				continue
 			}
-			switch second.Kind {
-			case Write:
+			if b.IsWriteAt(j) {
 				break scan // region updated; later reads are not double fetches of first
-			case Read:
-				if second.Ins == first.Ins {
-					continue // same instruction re-executed, e.g. a loop; not a double fetch
-				}
-				lo, hi := first.OverlapRange(second)
-				if first.ProjectVal(lo, hi) == second.ProjectVal(lo, hi) {
-					leaders[i] = true
-				}
-				break scan
 			}
+			if b.InsAt(j) == b.InsAt(i) {
+				continue // same instruction re-executed, e.g. a loop; not a double fetch
+			}
+			lo, hi := overlapRange(b.AddrAt(i), b.EndAt(i), b.AddrAt(j), b.EndAt(j))
+			if projectVal(b.AddrAt(i), b.ValAt(i), lo, hi) == projectVal(b.AddrAt(j), b.ValAt(j), lo, hi) {
+				leaders[i] = true
+			}
+			break scan
 		}
 	}
 	return leaders

@@ -149,9 +149,9 @@ func TestProjectValAgainstBytes(t *testing.T) {
 }
 
 func TestSharesLock(t *testing.T) {
-	a := Access{Locks: []uint64{1, 5, 9}}
-	b := Access{Locks: []uint64{2, 5}}
-	c := Access{Locks: []uint64{3, 4}}
+	a := Access{Locks: InternLocks([]uint64{1, 5, 9})}
+	b := Access{Locks: InternLocks([]uint64{2, 5})}
+	c := Access{Locks: InternLocks([]uint64{3, 4})}
 	var d Access
 	if !a.SharesLock(&b) {
 		t.Fatal("shared lock 5 not found")
@@ -176,8 +176,8 @@ func TestSharesLockAgainstNaive(t *testing.T) {
 			return out
 		}
 		la, lb := mk(), mk()
-		a := Access{Locks: la}
-		b := Access{Locks: lb}
+		a := Access{Locks: InternLocks(la)}
+		b := Access{Locks: InternLocks(lb)}
 		want := false
 		for _, x := range la {
 			for _, y := range lb {
@@ -197,7 +197,7 @@ func TestTraceAppendSeq(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		tr.Append(Access{Addr: uint64(i)})
 	}
-	for i, a := range tr.Accesses {
+	for i, a := range tr.Accesses() {
 		if a.Seq != i {
 			t.Fatalf("seq %d at index %d", a.Seq, i)
 		}
@@ -251,18 +251,18 @@ func TestFilterThreadStackAtomic(t *testing.T) {
 	tr.Append(Access{Thread: 0, Addr: 5, Marked: true})
 
 	got := DefaultFilter(0).Apply(&tr)
-	if len(got) != 2 || got[0].Addr != 1 || got[1].Addr != 5 {
-		t.Fatalf("default filter kept %v", got)
+	if got.Len() != 2 || got.At(0).Addr != 1 || got.At(1).Addr != 5 {
+		t.Fatalf("default filter kept %v", got.Accesses())
 	}
 
 	all := Filter{Thread: -1, KeepStack: true, KeepAtomics: true}.Apply(&tr)
-	if len(all) != 5 {
-		t.Fatalf("permissive filter kept %d", len(all))
+	if all.Len() != 5 {
+		t.Fatalf("permissive filter kept %d", all.Len())
 	}
 
 	capped := Filter{Thread: -1, KeepStack: true, KeepAtomics: true, MaxPerProfile: 2}.Apply(&tr)
-	if len(capped) != 2 {
-		t.Fatalf("cap ignored: %d", len(capped))
+	if capped.Len() != 2 {
+		t.Fatalf("cap ignored: %d", capped.Len())
 	}
 }
 
@@ -280,49 +280,49 @@ func TestMarkDoubleFetches(t *testing.T) {
 	i3 := DefIns("df_test:writer")
 
 	// Classic double fetch: two reads, different instructions, same value.
-	accs := []Access{
+	accs := BlockOf(
 		mkRead(i1, 0x100, 8, 42),
 		mkRead(i2, 0x100, 8, 42),
-	}
-	df := MarkDoubleFetches(accs)
+	)
+	df := MarkDoubleFetches(&accs)
 	if !df[0] || df[1] {
 		t.Fatalf("double fetch not marked on leader: %v", df)
 	}
 
 	// Intervening write kills the pairing.
-	accs = []Access{
+	accs = BlockOf(
 		mkRead(i1, 0x100, 8, 42),
 		mkWrite(i3, 0x100, 8, 43),
 		mkRead(i2, 0x100, 8, 43),
-	}
-	if df := MarkDoubleFetches(accs); len(df) != 0 {
+	)
+	if df := MarkDoubleFetches(&accs); len(df) != 0 {
 		t.Fatalf("marked despite intervening write: %v", df)
 	}
 
 	// Same instruction re-reading (a loop) is not a double fetch.
-	accs = []Access{
+	accs = BlockOf(
 		mkRead(i1, 0x100, 8, 42),
 		mkRead(i1, 0x100, 8, 42),
-	}
-	if df := MarkDoubleFetches(accs); len(df) != 0 {
+	)
+	if df := MarkDoubleFetches(&accs); len(df) != 0 {
 		t.Fatalf("same-ins pair marked: %v", df)
 	}
 
 	// Different values on the shared range: not a double fetch.
-	accs = []Access{
+	accs = BlockOf(
 		mkRead(i1, 0x100, 8, 42),
 		mkRead(i2, 0x100, 8, 99),
-	}
-	if df := MarkDoubleFetches(accs); len(df) != 0 {
+	)
+	if df := MarkDoubleFetches(&accs); len(df) != 0 {
 		t.Fatalf("different-value pair marked: %v", df)
 	}
 
 	// Partial overlap with matching projected bytes is a double fetch.
-	accs = []Access{
+	accs = BlockOf(
 		mkRead(i1, 0x100, 8, 0x1122334455667788),
 		mkRead(i2, 0x104, 4, 0x11223344),
-	}
-	df = MarkDoubleFetches(accs)
+	)
+	df = MarkDoubleFetches(&accs)
 	if !df[0] {
 		t.Fatalf("partial-overlap double fetch missed: %v", df)
 	}

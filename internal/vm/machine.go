@@ -17,6 +17,29 @@ type Scheduler interface {
 	Pick(m *Machine, last *Thread, ev Event) *Thread
 }
 
+// AccessInfo is the compact access descriptor handed to AccessSink on the
+// hot path. It is a strict subset of trace.Access: the fields a scheduling
+// policy can act on without forcing the thread to yield.
+type AccessInfo struct {
+	Thread int
+	Ins    trace.Ins
+	Kind   trace.Kind
+	Addr   uint64
+	Size   uint8
+	Stack  bool
+}
+
+// AccessSink is the scheduler fast path. A scheduler that implements it has
+// OnAccess invoked synchronously on the running thread's goroutine for every
+// memory access; returning false means "keep running the same thread" and
+// skips the channel round-trip through the machine loop entirely. Returning
+// true falls back to a regular EvAccess yield so Pick can switch threads.
+// Schedulers that never preempt on accesses (or only rarely) become
+// allocation- and handoff-free on the access path.
+type AccessSink interface {
+	OnAccess(m *Machine, t *Thread, a AccessInfo) bool
+}
+
 // ErrStepLimit is returned by Run when the access budget is exhausted, the
 // machine-level backstop behind the is_live heuristic.
 var ErrStepLimit = errors.New("vm: step limit exceeded")
@@ -38,6 +61,10 @@ type Machine struct {
 	lockWaiters map[Addr][]*Thread
 	rcuReaders  int
 	rcuWaiters  []*Thread
+
+	sink     AccessSink // scheduler fast path for the current Run, if any
+	runMax   int        // step budget of the current Run
+	runnable []*Thread  // scratch buffer reused by Runnable
 
 	steps     int
 	deadlocks int
@@ -70,14 +97,17 @@ func (m *Machine) Faults() []string { return m.faults }
 // Threads returns the live thread list.
 func (m *Machine) Threads() []*Thread { return m.threads }
 
-// Runnable returns the threads currently in the Runnable state.
+// Runnable returns the threads currently in the Runnable state. The
+// returned slice is a scratch buffer owned by the machine, overwritten by
+// the next call — callers must not retain it across scheduling events.
 func (m *Machine) Runnable() []*Thread {
-	var out []*Thread
+	out := m.runnable[:0]
 	for _, t := range m.threads {
 		if t.state == Runnable {
 			out = append(out, t)
 		}
 	}
+	m.runnable = out
 	return out
 }
 
@@ -156,7 +186,7 @@ func (m *Machine) step(t *Thread) Event {
 // thread so the sibling thread can still run (mirrors a crashed CPU being
 // fenced off; without this every fault would cascade into a deadlock).
 func (m *Machine) releaseDead(t *Thread) {
-	for _, l := range append([]uint64(nil), t.locks...) {
+	for _, l := range t.locks.Addrs() {
 		m.Mem.Write(l, 8, 0)
 		delete(m.lockHolder, l)
 		for _, w := range m.lockWaiters[l] {
@@ -167,7 +197,7 @@ func (m *Machine) releaseDead(t *Thread) {
 		}
 		delete(m.lockWaiters, l)
 	}
-	t.locks = nil
+	t.locks = 0
 	if t.rcuDepth > 0 {
 		m.rcuReaders -= t.rcuDepth
 		t.rcuDepth = 0
@@ -185,11 +215,21 @@ func (m *Machine) releaseDead(t *Thread) {
 // Run drives threads under the scheduler until all threads finish, the
 // scheduler returns nil, maxSteps events are processed, or no thread is
 // runnable. maxSteps <= 0 means a generous default of 1<<22.
+//
+// If the scheduler also implements AccessSink, memory accesses are reported
+// through OnAccess on the running thread's goroutine; the thread only
+// yields back to this loop when the sink asks for a preemption (or the step
+// budget runs out), so uninterrupted stretches of accesses cost no channel
+// handoffs at all. Step accounting is identical either way: every access is
+// counted exactly once (by record), every other event once (here).
 func (m *Machine) Run(s Scheduler, maxSteps int) error {
 	if maxSteps <= 0 {
 		maxSteps = 1 << 22
 	}
 	m.steps = 0
+	m.runMax = maxSteps
+	m.sink, _ = s.(AccessSink)
+	defer func() { m.sink = nil }()
 	ev := Event{Kind: EvStart}
 	var last *Thread
 	for {
@@ -209,7 +249,9 @@ func (m *Machine) Run(s Scheduler, maxSteps int) error {
 		}
 		ev = m.step(t)
 		last = t
-		m.steps++
+		if ev.Kind != EvAccess {
+			m.steps++ // accesses were already counted by record
+		}
 		if m.steps >= maxSteps {
 			return ErrStepLimit
 		}

@@ -21,6 +21,11 @@ func (SeqScheduler) Pick(m *Machine, last *Thread, ev Event) *Thread {
 	return nil
 }
 
+// OnAccess implements AccessSink. Sequential profiling never preempts on an
+// access, so the running thread just keeps going: the entire profiling run
+// proceeds without per-access channel handoffs.
+func (SeqScheduler) OnAccess(m *Machine, t *Thread, a AccessInfo) bool { return false }
+
 // FuncScheduler adapts a function to the Scheduler interface, convenient in
 // tests.
 type FuncScheduler func(m *Machine, last *Thread, ev Event) *Thread

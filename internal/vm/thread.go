@@ -2,7 +2,6 @@ package vm
 
 import (
 	"fmt"
-	"sort"
 
 	"snowboard/internal/trace"
 )
@@ -77,7 +76,7 @@ type Thread struct {
 	stackLo Addr // kernel stack region [stackLo, stackLo+trace.StackSize)
 	sp      Addr // current stack pointer (grows down)
 
-	locks    []uint64 // sorted addresses of locks held; treated as immutable
+	locks    trace.LockSet // interned set of lock addresses held
 	rcuDepth int
 
 	faultMsg string
@@ -123,8 +122,15 @@ func (t *Thread) checkRange(addr Addr, size int) {
 	}
 }
 
+// record is the access hot path. It appends to the trace (columnar, zero
+// allocations once the block is warm), counts the access against the run's
+// step budget, and consults the scheduler's AccessSink if it has one:
+// unless the sink requests a preemption, control never leaves this
+// goroutine — no Event is built and no channel handoff happens.
 func (t *Thread) record(ins trace.Ins, kind trace.Kind, addr Addr, size int, val uint64, atomic, marked bool) {
 	t.accesses++
+	m := t.m
+	stack := addr >= t.stackLo && addr < t.stackLo+trace.StackSize
 	a := trace.Access{
 		Thread: t.ID,
 		Ins:    ins,
@@ -134,12 +140,25 @@ func (t *Thread) record(ins trace.Ins, kind trace.Kind, addr Addr, size int, val
 		Val:    val,
 		Atomic: atomic,
 		Marked: marked,
-		Stack:  addr >= t.stackLo && addr < t.stackLo+trace.StackSize,
+		Stack:  stack,
 		RCU:    t.rcuDepth > 0,
 		Locks:  t.locks,
 	}
-	if t.m.trace != nil {
-		t.m.trace.Append(a)
+	if m.trace != nil {
+		m.trace.Append(a)
+	}
+	m.steps++ // safe: the machine loop is blocked in step() while we run
+	if m.steps < m.runMax && m.sink != nil {
+		if !m.sink.OnAccess(m, t, AccessInfo{
+			Thread: t.ID,
+			Ins:    ins,
+			Kind:   kind,
+			Addr:   addr,
+			Size:   uint8(size),
+			Stack:  stack,
+		}) {
+			return // fast path: keep running, no channel round-trip
+		}
 	}
 	t.yield(Event{Kind: EvAccess, Access: a})
 }
@@ -227,31 +246,16 @@ func (t *Thread) SP() Addr { return t.sp }
 // --- Locks ---
 
 func (t *Thread) holdLock(addr Addr) {
-	ls := make([]uint64, 0, len(t.locks)+1)
-	ls = append(ls, t.locks...)
-	ls = append(ls, addr)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-	t.locks = ls
+	t.locks = t.locks.With(addr)
 }
 
 func (t *Thread) dropLock(addr Addr) {
-	ls := make([]uint64, 0, len(t.locks))
-	for _, l := range t.locks {
-		if l != addr {
-			ls = append(ls, l)
-		}
-	}
-	t.locks = ls
+	t.locks = t.locks.Without(addr)
 }
 
 // HoldsLock reports whether the thread currently holds the lock at addr.
 func (t *Thread) HoldsLock(addr Addr) bool {
-	for _, l := range t.locks {
-		if l == addr {
-			return true
-		}
-	}
-	return false
+	return t.locks.Has(addr)
 }
 
 // Lock acquires the lock word at addr (spinlock and mutex behave identically

@@ -147,7 +147,7 @@ func TestThreadLoadStore(t *testing.T) {
 	if tr.Len() != 2 {
 		t.Fatalf("trace has %d accesses", tr.Len())
 	}
-	if tr.Accesses[0].Kind != trace.Write || tr.Accesses[1].Kind != trace.Read {
+	if tr.At(0).Kind != trace.Write || tr.At(1).Kind != trace.Read {
 		t.Fatal("trace kinds wrong")
 	}
 }
@@ -396,7 +396,7 @@ func TestStackFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range tr.Accesses {
+	for _, a := range tr.Accesses() {
 		if !a.Stack {
 			t.Fatalf("frame access not marked stack: %+v", a)
 		}
@@ -426,11 +426,53 @@ func TestLockWordValueVisible(t *testing.T) {
 		th.Lock(insT, lock)
 		th.Unlock(insT, lock)
 	})
-	if tr.Len() != 2 || !tr.Accesses[0].Atomic || !tr.Accesses[1].Atomic {
-		t.Fatalf("lock traffic not atomic in trace: %+v", tr.Accesses)
+	if tr.Len() != 2 || !tr.At(0).Atomic || !tr.At(1).Atomic {
+		t.Fatalf("lock traffic not atomic in trace: %+v", tr.Accesses())
 	}
-	if tr.Accesses[0].Val == 0 || tr.Accesses[1].Val != 0 {
-		t.Fatalf("lock word values wrong: %+v", tr.Accesses)
+	if tr.At(0).Val == 0 || tr.At(1).Val != 0 {
+		t.Fatalf("lock word values wrong: %+v", tr.Accesses())
+	}
+}
+
+// TestRecordAllocBudget is the allocation guard on the access hot path:
+// with a warm (reused) trace block and a non-preempting scheduler, recording
+// an access must not allocate. The budget is 0.1 allocs per access — an
+// order of magnitude below the ~1 alloc/access the channel-per-access
+// design cost — so any regression that reintroduces a per-access allocation
+// fails loudly.
+func TestRecordAllocBudget(t *testing.T) {
+	const accessesPerRun = 4096
+	var tr trace.Trace
+	// Warm-up: size the columnar block and the machine's scratch buffers.
+	warm := newTestMachine()
+	warm.SetTrace(&tr)
+	warm.Spawn("warm", testStackBase, func(th *Thread) {
+		for i := 0; i < accessesPerRun; i++ {
+			th.Store(insT, testRegionBase+uint64(i%256)*8, 8, uint64(i))
+		}
+	})
+	if err := warm.Run(SeqScheduler{}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	m := newTestMachine()
+	m.SetTrace(&tr)
+	allocs := testing.AllocsPerRun(10, func() {
+		tr.Reset()
+		m.ResetRuntime()
+		m.Spawn("t0", testStackBase, func(th *Thread) {
+			for i := 0; i < accessesPerRun; i++ {
+				th.Store(insT, testRegionBase+uint64(i%256)*8, 8, uint64(i))
+			}
+		})
+		if err := m.Run(SeqScheduler{}, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perAccess := allocs / accessesPerRun
+	if perAccess > 0.1 {
+		t.Fatalf("access hot path allocates: %.3f allocs/access (%.0f allocs per %d-access run)",
+			perAccess, allocs, accessesPerRun)
 	}
 }
 
@@ -462,7 +504,7 @@ func TestDeterministicExecution(t *testing.T) {
 		if err := m.Run(sched, 0); err != nil {
 			t.Fatal(err)
 		}
-		return tr.Accesses
+		return tr.Accesses()
 	}
 	a, b := run(), run()
 	if len(a) != len(b) {
