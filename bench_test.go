@@ -15,6 +15,7 @@ package snowboard_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -532,6 +533,65 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	b.ReportMetric(float64(onNS)/float64(b.N)/1e6, "ms/run-enabled")
 	b.ReportMetric(float64(offNS)/float64(b.N)/1e6, "ms/run-disabled")
+}
+
+// BenchmarkEventLogOverhead isolates the flight recorder's cost at both
+// granularities: the raw per-emit price of the lock-free ring (with and
+// without a JSONL sink attached), and the end-to-end campaign delta with
+// the recorder live versus the whole obs layer off. The budget for the
+// campaign arm is ≤5% (BENCH_obs2.json); the emit arm is the per-event
+// price the budget buys.
+func BenchmarkEventLogOverhead(b *testing.B) {
+	b.Run("emit", func(b *testing.B) {
+		l := obs.NewEventLog(1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.EmitTrace("bench-trace", obs.EvPMCTested, obs.A("i", i), obs.A("mode", "bench"))
+		}
+	})
+	b.Run("emit-sink", func(b *testing.B) {
+		l := obs.NewEventLog(1024)
+		l.SetSink(io.Discard)
+		defer l.SetSink(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.EmitTrace("bench-trace", obs.EvPMCTested, obs.A("i", i), obs.A("mode", "bench"))
+		}
+	})
+	b.Run("campaign", func(b *testing.B) {
+		defer obs.SetEnabled(true)
+		runOnce := func(seed int64) {
+			opts := snowboard.DefaultOptions()
+			opts.Seed = seed
+			opts.FuzzBudget = 400
+			opts.CorpusCap = 100
+			opts.TestBudget = 40
+			opts.Trials = 8
+			if _, err := snowboard.Run(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runOnce(1) // warm up code paths before timing either arm
+		var onNS, offNS int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			obs.SetEnabled(true)
+			t0 := time.Now()
+			runOnce(int64(i) + 5)
+			onNS += int64(time.Since(t0))
+
+			obs.SetEnabled(false)
+			t0 = time.Now()
+			runOnce(int64(i) + 5)
+			offNS += int64(time.Since(t0))
+		}
+		obs.SetEnabled(true)
+		if offNS > 0 {
+			b.ReportMetric(100*(float64(onNS)-float64(offNS))/float64(offNS), "overhead-%")
+		}
+		b.ReportMetric(float64(onNS)/float64(b.N)/1e6, "ms/run-enabled")
+		b.ReportMetric(float64(offNS)/float64(b.N)/1e6, "ms/run-disabled")
+	})
 }
 
 // BenchmarkAblationClusterOrder isolates the uncommon-first ordering

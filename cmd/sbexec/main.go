@@ -66,12 +66,25 @@ func main() {
 		name     = flag.String("name", hostDefault(), "worker name in reports")
 		idleExit = flag.Duration("idle-exit", 5*time.Second, "exit after this long with an empty queue")
 		retries  = flag.Int("retries", 8, "reconnect attempts (exponential backoff) per queue operation")
-		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
+		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /events, /coverage, /campaign, /debug/vars, /debug/pprof) on this address")
 		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
+		events   = flag.String("events", "", "append flight-recorder events to this file as JSONL")
 	)
 	flag.Parse()
 	diag := obs.Diag
 	diag.SetPrefix("sbexec[" + *name + "]")
+
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		obs.Events.SetSink(f)
+		diag.Printf("flight-recorder events -> %s", *events)
+	}
+	stopSampler := obs.StartSampler(time.Second)
+	defer stopSampler()
 
 	if *httpAddr != "" {
 		srv, err := obs.StartHTTP(*httpAddr)
@@ -236,6 +249,9 @@ func workLoop(client *queue.Client, cache *corpusCache, version snowboard.Versio
 
 		stopKeep := keepLease(client, ls)
 		x.Seed = int64(job.ID)*1009 + 1
+		// Stitch this job's spans and events to the originating campaign's
+		// trace, so a distributed run's timeline reads end-to-end.
+		x.Trace = job.Trace
 		out := x.Explore(sched.ConcurrentTest{
 			Writer: job.Writer, Reader: job.Reader, Hint: job.Hint, Pair: job.Pair,
 		})

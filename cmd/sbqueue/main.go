@@ -8,7 +8,7 @@
 //	sbqueue [-addr 127.0.0.1:7070] [-version 5.12-rc3] [-method S-INS-PAIR]
 //	        [-seed 1] [-fuzz 400] [-corpus 120] [-tests 200] [-workers 0]
 //	        [-state dir] [-lease 30s] [-retries 3] [-wait 30s]
-//	        [-http :8080] [-progress 10s]
+//	        [-http :8080] [-progress 10s] [-watch]
 //
 // Jobs are delivered at-least-once: a worker leases a job for -lease and
 // acks it after reporting; a crashed or preempted worker's lease expires
@@ -27,14 +27,19 @@
 //
 // Operational chatter goes to stderr; only the final summary is written to
 // stdout. With -http, the live introspection server exposes the queue's
-// per-op counters, depth, and in-flight connections alongside the pipeline
-// metrics.
+// per-op counters and latency histograms, depth, flight-recorder events
+// (/events), and the campaign coverage time-series (/coverage) alongside
+// the pipeline metrics. With -watch, a live terminal dashboard on stderr
+// shows queue state, lease ages, exec throughput and latency percentiles,
+// coverage growth, and the tail of the flight recorder.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 	"time"
 
 	"snowboard"
@@ -56,12 +61,18 @@ func main() {
 		lease    = flag.Duration("lease", 30*time.Second, "worker lease timeout before an unacked job is redelivered")
 		retries  = flag.Int("retries", 3, "delivery attempts per job before it is dead-lettered")
 		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for outstanding leases to settle after the queue drains")
-		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
+		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /events, /coverage, /campaign, /debug/vars, /debug/pprof) on this address")
 		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
+		watch    = flag.Bool("watch", false, "render a live terminal dashboard on stderr (suppresses -progress)")
 	)
 	flag.Parse()
 	diag := obs.Diag
 	diag.SetPrefix("sbqueue")
+	if *watch {
+		*progress = 0
+	}
+	stopSampler := obs.StartSampler(time.Second)
+	defer stopSampler()
 
 	if *httpAddr != "" {
 		srv, err := obs.StartHTTP(*httpAddr)
@@ -132,8 +143,15 @@ func main() {
 	diag.Printf("queue listening on %s — start workers with: sbexec -addr %s -version %s%s",
 		srv.Addr(), srv.Addr(), *version, hint)
 
+	stopWatch := func() {}
+	if *watch {
+		stopWatch = startWatch(q)
+	}
+
 	for i, ct := range cts {
-		job := queue.Job{ID: i, Hint: ct.Hint, Pair: ct.Pair}
+		// Every job carries the campaign trace, so worker spans and the
+		// queue's delivery events stitch back to this run end-to-end.
+		job := queue.Job{ID: i, Hint: ct.Hint, Pair: ct.Pair, Trace: obs.CurrentTrace()}
 		if corpusDigest != "" {
 			job.Corpus = corpusDigest
 		} else {
@@ -169,6 +187,8 @@ func main() {
 		time.Sleep(200 * time.Millisecond)
 	}
 
+	stopWatch()
+
 	// Fold worker results exactly once per job (redelivered duplicates are
 	// byte-identical and discarded) and surface the dead-letter list.
 	st := q.Stats()
@@ -187,4 +207,60 @@ func main() {
 	if sum.Lost() {
 		diag.Printf("warning: jobs neither reported nor dead-lettered: %v", sum.Missing)
 	}
+}
+
+// startWatch renders the live dashboard to stderr once per second until the
+// returned stop function is called.
+func startWatch(q *queue.Queue) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprint(os.Stderr, renderWatch(q))
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// renderWatch builds one dashboard frame: campaign identity, queue and
+// lease state, exec throughput with latency percentiles, coverage growth
+// rates, and the tail of the flight recorder.
+func renderWatch(q *queue.Queue) string {
+	st := q.Stats()
+	pr := obs.ProgressNow()
+	cov := obs.CoverageNow()
+	var b strings.Builder
+	b.WriteString("\x1b[H\x1b[2J") // cursor home + clear screen
+	trace := "-"
+	if c := obs.CurrentCampaign(); c != nil {
+		trace = c.Trace
+	}
+	fmt.Fprintf(&b, "snowboard campaign %s  up %.0fs\n", trace, pr.UptimeSec)
+	fmt.Fprintf(&b, "queue   pending=%d leased=%d done=%d dead=%d redelivered=%d oldest-lease=%s\n",
+		st.Pending, st.Leased, st.Done, st.DeadLettered, st.Redelivered,
+		st.OldestLease.Truncate(time.Millisecond))
+	fmt.Fprintf(&b, "exec    %.1f tests/min  p50=%.2fms  p99=%.2fms  trials=%d  exercised=%d\n",
+		pr.ExecPerMin, pr.ExecP50Ms, pr.ExecP99Ms, pr.TrialsRun, pr.TestsExercised)
+	var pairs int64
+	if n := len(cov.Samples); n > 0 {
+		pairs = cov.Samples[n-1].CoverPairs
+	}
+	fmt.Fprintf(&b, "cover   pairs=%d  +%.1f pairs/min  +%.1f edges/min  plateaued=%t\n",
+		pairs, cov.Rate.NewPairsPerMin, cov.Rate.NewEdgesPerMin, cov.Plateaued)
+	fmt.Fprintf(&b, "issues  %d found  %d detect reports\n", pr.IssuesFound, pr.DetectReports)
+	evs := obs.Events.Since(0)
+	if n := len(evs); n > 6 {
+		evs = evs[n-6:]
+	}
+	b.WriteString("events\n")
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "  #%-5d %s  %s\n", ev.Seq, ev.T.Format("15:04:05"), ev.Kind)
+	}
+	return b.String()
 }

@@ -49,9 +49,20 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the interleaving diagram")
 		stateDir = flag.String("state", "", "artifact store directory: replay findings from a stored report instead of bundles")
 		reportD  = flag.String("report", "", "hex digest (or unique prefix) of the stored report to replay; empty lists stored reports")
+		events   = flag.String("events", "", "append flight-recorder events to this file as JSONL")
 	)
 	flag.Parse()
 	obs.Diag.SetPrefix("sbrepro")
+
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		obs.Events.SetSink(f)
+		defer obs.Events.SetSink(nil)
+	}
 
 	if *stateDir != "" {
 		os.Exit(replayStore(*stateDir, *reportD, *workers, *quiet))

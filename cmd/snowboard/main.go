@@ -8,7 +8,7 @@
 //	snowboard [-mode full|compare] [-version 5.12-rc3] [-method S-INS-PAIR]
 //	          [-seed 1] [-fuzz 400] [-corpus 120] [-tests 60] [-trials 16]
 //	          [-workers 0] [-json] [-http :8080] [-progress 10s]
-//	          [-trace events.jsonl] [-v]
+//	          [-trace spans.jsonl] [-events events.jsonl] [-v]
 //
 // With -mode compare (or the legacy -compare flag), every generation
 // method of the paper's Table 3 runs on the same profiled corpus and one
@@ -52,6 +52,7 @@ func main() {
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /progress, /debug/vars, /debug/pprof) on this address")
 		progress = flag.Duration("progress", 10*time.Second, "interval between one-line progress reports on stderr (0 disables)")
 		traceOut = flag.String("trace", "", "append JSONL span events to this file")
+		events   = flag.String("events", "", "append flight-recorder events to this file as JSONL")
 		verbose  = flag.Bool("v", false, "verbose per-issue output")
 		reproDir = flag.String("repro-dir", "", "write reproduction bundles for crash-level findings here")
 	)
@@ -86,6 +87,18 @@ func main() {
 		obs.SetTraceSink(f)
 		defer obs.SetTraceSink(nil)
 	}
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snowboard: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		obs.Events.SetSink(f)
+		defer obs.Events.SetSink(nil)
+	}
+	stopSampler := obs.StartSampler(time.Second)
+	defer stopSampler()
 	if *httpAddr != "" {
 		srv, err := obs.StartHTTP(*httpAddr)
 		if err != nil {
@@ -93,7 +106,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		diag.Printf("introspection listening on http://%s (/metrics /progress /debug/vars /debug/pprof)", srv.Addr())
+		diag.Printf("introspection listening on http://%s (/metrics /progress /events /coverage /campaign /debug/vars /debug/pprof)", srv.Addr())
 	}
 	stopProgress := obs.StartProgress(*progress, diag)
 	defer stopProgress()

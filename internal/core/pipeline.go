@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"snowboard/internal/cluster"
 	"snowboard/internal/corpus"
@@ -25,6 +26,7 @@ import (
 var (
 	mGenTests    = obs.C(obs.MGenTests)
 	mIssuesFound = obs.G(obs.MIssuesFound)
+	mCoverPairs  = obs.G(obs.MCoverPairs)
 )
 
 // Pipeline holds the state flowing between the four stages so that callers
@@ -63,15 +65,26 @@ type Pipeline struct {
 	pmcDigest      store.Digest
 }
 
-// NewPipeline boots the simulated kernel for the configured version.
+// NewPipeline boots the simulated kernel for the configured version. It
+// also joins (or starts) the process-wide campaign, so every event the
+// pipeline flight-records is stitched to one trace ID.
 func NewPipeline(opts Options) *Pipeline {
 	if opts.Trials <= 0 {
 		opts.Trials = 16
 	}
+	obs.EnsureCampaign("snowboard")
 	return &Pipeline{
 		Opts: opts,
 		Env:  exec.NewEnv(kernel.Config{Version: opts.Version}),
 	}
+}
+
+// stageDone flight-records a stage completion and checkpoints the campaign
+// time-series, so a killed run's trajectory resumes where it stopped.
+func (p *Pipeline) stageDone(stage string, cached bool, dur time.Duration) {
+	obs.Emit(obs.EvStageDone, obs.A("stage", stage), obs.A("cache", cached),
+		obs.A("dur_ms", dur.Milliseconds()))
+	p.saveSeries()
 }
 
 // workerEnvs returns n per-worker environments, cloning from the boot
@@ -97,7 +110,8 @@ func (p *Pipeline) BuildCorpus(r *Report) {
 	if p.store != nil {
 		if p.loadCorpusStage(r) {
 			mStoreHits.Inc()
-			span.End(obs.A("cache", "hit"), obs.A("corpus", r.CorpusSize))
+			d := span.End(obs.A("cache", "hit"), obs.A("corpus", r.CorpusSize))
+			p.stageDone("fuzz", true, d)
 			return
 		}
 		mStoreMisses.Inc()
@@ -111,6 +125,7 @@ func (p *Pipeline) BuildCorpus(r *Report) {
 	if p.store != nil {
 		p.saveCorpusStage(r)
 	}
+	p.stageDone("fuzz", false, r.FuzzTime)
 }
 
 // SetCorpus installs an externally built corpus (e.g. shared across the
@@ -133,7 +148,8 @@ func (p *Pipeline) ProfileAll(r *Report) error {
 		if corpusDigest, err = p.ensureCorpusDigest(); err == nil {
 			if p.loadProfileStage(r, corpusDigest) {
 				mStoreHits.Inc()
-				span.End(obs.A("cache", "hit"), obs.A("accesses", r.ProfiledAccesses))
+				d := span.End(obs.A("cache", "hit"), obs.A("accesses", r.ProfiledAccesses))
+				p.stageDone("profile", true, d)
 				return nil
 			}
 		} else {
@@ -171,6 +187,7 @@ func (p *Pipeline) ProfileAll(r *Report) error {
 	if p.store != nil && !corpusDigest.IsZero() {
 		p.saveProfileStage(corpusDigest, accesses, r.ProfileTime)
 	}
+	p.stageDone("profile", false, r.ProfileTime)
 	return nil
 }
 
@@ -190,7 +207,8 @@ func (p *Pipeline) IdentifyPMCs(r *Report) {
 		if profilesDigest, err = p.ensureProfilesDigest(); err == nil {
 			if p.loadIdentifyStage(r, profilesDigest) {
 				mStoreHits.Inc()
-				span.End(obs.A("cache", "hit"), obs.A("pmcs", r.DistinctPMCs))
+				d := span.End(obs.A("cache", "hit"), obs.A("pmcs", r.DistinctPMCs))
+				p.stageDone("identify", true, d)
 				return
 			}
 		} else {
@@ -206,6 +224,7 @@ func (p *Pipeline) IdentifyPMCs(r *Report) {
 	if p.store != nil && !profilesDigest.IsZero() {
 		p.saveIdentifyStage(r, profilesDigest)
 	}
+	p.stageDone("identify", false, r.IdentifyTime)
 }
 
 // SetPMCs installs an externally identified PMC set.
@@ -357,7 +376,10 @@ func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
 		mIssuesFound.Set(int64(len(r.Issues)))
 	}
 	r.CoverPairs += cov.Len()
-	r.ExecTime += span.End(obs.A("issues", len(r.Issues)))
+	mCoverPairs.Set(int64(r.CoverPairs))
+	d := span.End(obs.A("issues", len(r.Issues)))
+	r.ExecTime += d
+	p.stageDone("exec", false, d)
 }
 
 // crashLevel reports whether the issue kind wedges or corrupts the kernel.
@@ -391,6 +413,8 @@ func Run(opts Options) (*Report, error) {
 	if p.store != nil {
 		if cached, ok := p.loadReportStage(opts.TestBudget); ok {
 			mStoreHits.Inc()
+			obs.Emit(obs.EvCampaignDone, obs.A("cache", true), obs.A("issues", len(cached.Issues)))
+			p.saveSeries()
 			return cached, nil
 		}
 		mStoreMisses.Inc()
@@ -401,6 +425,8 @@ func Run(opts Options) (*Report, error) {
 	if p.store != nil {
 		p.saveReportStage(r, opts.TestBudget)
 	}
+	obs.Emit(obs.EvCampaignDone, obs.A("cache", false), obs.A("issues", len(r.Issues)))
+	p.saveSeries()
 	return r, nil
 }
 

@@ -46,8 +46,14 @@ var (
 )
 
 // UseStore attaches an artifact store; subsequent stage runs memoize
-// through it. Attach before running any stage.
-func (p *Pipeline) UseStore(s *store.Store) { p.store = s }
+// through it. Attach before running any stage. A previously persisted
+// campaign time-series for this (version, seed) is merged into the live
+// series, so a killed-and-resumed campaign's coverage trajectory is one
+// continuous curve.
+func (p *Pipeline) UseStore(s *store.Store) {
+	p.store = s
+	p.loadSeries()
+}
 
 // ArtifactStore returns the attached store (nil when running in-memory).
 func (p *Pipeline) ArtifactStore() *store.Store { return p.store }
@@ -103,6 +109,57 @@ func (p *Pipeline) reportKey(corpusDigest, pmcDigest store.Digest, budget int) s
 		fmt.Sprintf("detect=%t/%t/%t/%d", d.Console, d.Races, d.TornReads, d.RaceMode),
 		fmt.Sprintf("no-incidental=%t", p.Opts.DisableIncidental),
 	)
+}
+
+// seriesKey identifies the campaign time-series artifact. Deliberately
+// independent of method, workers, and budgets: one (version, seed) campaign
+// has one coverage trajectory, however many strategy comparisons or resumed
+// runs share the state directory.
+func (p *Pipeline) seriesKey() store.Digest {
+	return store.Key(keyPrefix, "timeseries",
+		fmt.Sprintf("series-codec=%d", obs.SeriesCodecVersion),
+		fmt.Sprintf("version=%s", p.Opts.Version),
+		fmt.Sprintf("seed=%d", p.Opts.Seed),
+	)
+}
+
+// loadSeries merges a prior run's persisted SBTS artifact into the live
+// DefaultSeries. Merge dedups by timestamp, so repeated loads — the compare
+// mode attaches eleven pipelines to one store — are idempotent.
+func (p *Pipeline) loadSeries() {
+	payload, _, out, ok := p.loadStage("timeseries", p.seriesKey(), store.KindSeries)
+	if !ok {
+		return
+	}
+	samples, err := obs.DecodeSeries(bytes.NewReader(payload))
+	if err != nil {
+		obs.Diag.Printf("stage timeseries: discarding undecodable series artifact %s: %v", out.Short(), err)
+		return
+	}
+	obs.DefaultSeries.Merge(samples)
+	if len(samples) > 0 {
+		// Continue the counters where the prior run stopped: cache-hit
+		// stages do no new work, so without this every resumed sample
+		// would regress the trajectory to zero.
+		obs.RestoreCounters(samples[len(samples)-1])
+	}
+	obs.Diag.Printf("stage timeseries: resumed %d samples (%s)", len(samples), out.Short())
+}
+
+// saveSeries snapshots the live metrics into the campaign time-series and
+// persists it. Pipeline stages call this at their boundaries, so a killed
+// campaign loses at most one stage's trajectory.
+func (p *Pipeline) saveSeries() {
+	obs.RecordSample()
+	if p.store == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := obs.EncodeSeries(&buf, obs.DefaultSeries.Samples()); err != nil {
+		obs.Diag.Printf("stage timeseries: encode series: %v", err)
+		return
+	}
+	p.saveStage("timeseries", p.seriesKey(), store.KindSeries, buf.Bytes(), nil)
 }
 
 // Per-stage report fragments persisted in the memo entry, so a cache hit

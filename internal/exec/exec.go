@@ -152,6 +152,7 @@ func (e *Env) finish(err error, retsPerThread [][]int64) Result {
 	mSteps.Add(int64(r.Steps))
 	if r.Crashed() {
 		mCrashes.Inc()
+		obs.Emit(obs.EvExecCrash, obs.A("faults", len(r.Faults)))
 	}
 	switch {
 	case errors.Is(err, vm.ErrStepLimit):

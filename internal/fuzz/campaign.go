@@ -103,6 +103,8 @@ func CampaignSharded(envs []*exec.Env, seed int64, budget, maxKeep int) Campaign
 					out.Selected++
 					mSelected.Inc()
 					mCorpus.Set(int64(out.Corpus.Len()))
+					obs.Emit(obs.EvCoverNew, obs.A("edges", n),
+						obs.A("corpus", out.Corpus.Len()))
 				}
 			}
 			if maxKeep > 0 && out.Corpus.Len() >= maxKeep {

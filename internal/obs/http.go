@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -20,24 +21,104 @@ func publishExpvar() {
 	})
 }
 
+// EventsPage is the JSON shape served at /events?since=N: the retained
+// events after N plus the cursor for the next page.
+type EventsPage struct {
+	Since  uint64  `json:"since"`
+	Next   uint64  `json:"next"` // pass back as ?since= to page
+	Events []Event `json:"events"`
+}
+
+// EventsSince builds the /events page for the process-wide flight recorder.
+func EventsSince(since uint64) EventsPage {
+	evs := Events.Since(since)
+	next := since
+	if n := len(evs); n > 0 {
+		next = evs[n-1].Seq
+	}
+	return EventsPage{Since: since, Next: next, Events: evs}
+}
+
+// CoverageView is the JSON shape served at /coverage: the campaign
+// time-series plus derived rates and plateau judgement.
+type CoverageView struct {
+	Samples   []Sample `json:"samples"`
+	Rate      Rate     `json:"rate"`      // trailing-minute growth rates
+	Overall   Rate     `json:"overall"`   // whole-series growth rates
+	Plateaued bool     `json:"plateaued"` // no new pairs in the trailing minute
+}
+
+// CoverageNow builds the /coverage view from the DefaultSeries.
+func CoverageNow() CoverageView {
+	return CoverageView{
+		Samples:   DefaultSeries.Samples(),
+		Rate:      DefaultSeries.Rate(time.Minute),
+		Overall:   DefaultSeries.Rate(0),
+		Plateaued: DefaultSeries.Plateaued(time.Minute, 1),
+	}
+}
+
+// CampaignView is the JSON shape served at /campaign: identity, live
+// progress, and flight-recorder cursors for one campaign.
+type CampaignView struct {
+	Campaign *Campaign `json:"campaign"` // nil before the campaign starts
+	Progress Progress  `json:"progress"`
+	EventSeq uint64    `json:"event_seq"` // last assigned event sequence number
+	Samples  int       `json:"samples"`   // time-series points retained
+}
+
+// CampaignNow builds the /campaign view.
+func CampaignNow() CampaignView {
+	return CampaignView{
+		Campaign: CurrentCampaign(),
+		Progress: ProgressNow(),
+		EventSeq: Events.Seq(),
+		Samples:  DefaultSeries.Len(),
+	}
+}
+
 // Handler returns the introspection mux over the Default registry:
 //
 //	/metrics       Prometheus text exposition
 //	/progress      JSON Progress snapshot
+//	/events        flight-recorder events (?since=N pages by sequence number)
+//	/coverage      campaign time-series with rates and plateau judgement
+//	/campaign      campaign identity, live progress, recorder cursors
 //	/debug/vars    expvar (includes the full registry under "snowboard")
 //	/debug/pprof/  runtime profiling
 func Handler() http.Handler {
 	publishExpvar()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = Default.Snapshot().WritePrometheus(w)
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(ProgressNow())
+		writeJSON(w, ProgressNow())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		since := uint64(0)
+		if s := r.URL.Query().Get("since"); s != "" {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		writeJSON(w, EventsSince(since))
+	})
+	mux.HandleFunc("/coverage", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, CoverageNow())
+	})
+	mux.HandleFunc("/campaign", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, CampaignNow())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -50,7 +131,7 @@ func Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "snowboard introspection\n\n/metrics\n/progress\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "snowboard introspection\n\n/metrics\n/progress\n/events\n/coverage\n/campaign\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }

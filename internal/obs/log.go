@@ -64,6 +64,8 @@ type Progress struct {
 	DetectReports  int64   `json:"detect_reports"`
 	QueueDepth     int64   `json:"queue_depth"`
 	ExecPerMin     float64 `json:"exec_per_min"`
+	ExecP50Ms      float64 `json:"exec_p50_ms"` // median concurrent-test latency
+	ExecP99Ms      float64 `json:"exec_p99_ms"` // tail concurrent-test latency
 }
 
 // ProgressFrom derives the progress summary from a snapshot. ExecPerMin is
@@ -87,6 +89,8 @@ func ProgressFrom(s Snapshot) Progress {
 	}
 	if h := s.Histogram("exec.test.duration_ns"); h.Count > 0 && h.Sum > 0 {
 		p.ExecPerMin = float64(h.Count) / (float64(h.Sum) / float64(time.Minute))
+		p.ExecP50Ms = float64(h.Quantile(0.5)) / 1e6
+		p.ExecP99Ms = float64(h.Quantile(0.99)) / 1e6
 	}
 	return p
 }

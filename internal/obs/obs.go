@@ -20,6 +20,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -65,6 +66,10 @@ const (
 	MDetectReports = "detect.reports"      // counter: raw oracle findings (incl. re-observations)
 	MDetectHarmful = "detect.harmful"      // counter: harmful findings
 	MIssuesFound   = "detect.issues_found" // gauge: distinct issues in the current run's report
+
+	// Concurrency coverage (internal/cover via core): published as a gauge
+	// so the time-series sampler can track it without importing cover.
+	MCoverPairs = "cover.pairs" // gauge: distinct alias instruction pairs covered
 
 	// Content-addressed artifact store (internal/store) and stage-graph
 	// memoization (internal/core).
@@ -339,6 +344,47 @@ func (h HistogramSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0,1], e.g. 0.5 or 0.99) from the
+// log2 buckets: it locates the bucket holding the target rank and
+// interpolates linearly within it. Resolution is bounded by the bucket
+// width — at most a factor of two — which is plenty for p50/p99 latency
+// readouts. Returns 0 with no observations.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	total := int64(0)
+	for _, n := range h.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketUpper(i-1) + 1
+			}
+			hi := BucketUpper(i)
+			frac := float64(rank-(cum-n)) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+	}
+	return BucketUpper(len(h.Buckets) - 1)
+}
+
 // Snapshot is a point-in-time view of a registry, safe to serialize.
 // Individual values are loaded atomically; the set as a whole is gathered
 // while bumps may be in flight, so cross-metric invariants are approximate
@@ -486,8 +532,16 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		}
+		// Snapshot loads count before buckets, so a bump landing in between
+		// can leave cum > Count; clamp the +Inf bucket and _count up to cum
+		// so the exposition stays a valid (monotone) Prometheus histogram
+		// even mid-run.
+		total := h.Count
+		if cum > total {
+			total = cum
+		}
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			pn, total, pn, h.Sum, pn, total); err != nil {
 			return err
 		}
 	}

@@ -193,6 +193,8 @@ func IdentifyParallel(profiles []Profile, opt Options, workers int) *Set {
 	}
 	obs.G(obs.MPMCIdentified).Set(int64(set.Len()))
 	obs.G(obs.MPMCCombinations).Set(set.TotalCombinations)
+	obs.Emit(obs.EvPMCIdentified, obs.A("keys", set.Len()),
+		obs.A("combinations", set.TotalCombinations))
 	return set
 }
 

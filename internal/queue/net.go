@@ -52,7 +52,10 @@ var (
 // answered with {"ok":false,"err":"frame too large"} and discarded, the
 // same hostile-input clamp the artifact decoders apply.
 
-// ProtoVersion is the wire protocol version this build speaks.
+// ProtoVersion is the wire protocol version this build speaks. Within v2,
+// jobs may carry an optional "trace" field stitching them to the
+// originating campaign; older v2 peers simply ignore it (unknown JSON
+// fields are dropped on decode), so no version bump is needed.
 const ProtoVersion = 2
 
 // Transport limits.

@@ -62,6 +62,11 @@ type Job struct {
 	Hint   *pmc.PMC       `json:"hint,omitempty"`
 	Pair   pmc.Pair       `json:"pair"`
 	Meta   map[string]any `json:"meta,omitempty"`
+	// Trace stitches the job to its originating campaign: workers tag
+	// their spans and flight-recorder events with it, so a distributed
+	// run's timeline reads end-to-end. Optional field, so the v2 wire
+	// protocol stays backward-compatible (older peers ignore it).
+	Trace string `json:"trace,omitempty"`
 }
 
 // Inline reports whether the job carries its programs inline.
@@ -162,11 +167,23 @@ type Lease struct {
 	Deadline time.Time
 }
 
+// JobEvent is one step of a job's delivery history: pushed, leased,
+// nacked, expired, acked, or dead-lettered, with the attempt it happened
+// on. The queue accumulates these per job so a dead letter carries its
+// full timeline — every lease attempt and why it failed.
+type JobEvent struct {
+	At      time.Time `json:"at"`
+	Attempt int       `json:"attempt"` // 1-based delivery attempt (0 for push)
+	What    string    `json:"what"`    // pushed | leased | nacked | expired | dead-lettered
+	Reason  string    `json:"reason,omitempty"`
+}
+
 // DeadJob is a job that exhausted its delivery attempts.
 type DeadJob struct {
-	Job      Job    `json:"job"`
-	Attempts int    `json:"attempts"`
-	Reason   string `json:"reason"` // last nack reason, or "lease expired"
+	Job      Job        `json:"job"`
+	Attempts int        `json:"attempts"`
+	Reason   string     `json:"reason"` // last nack reason, or "lease expired"
+	Timeline []JobEvent `json:"timeline,omitempty"`
 }
 
 // Stats is a point-in-time view of where every pushed job stands:
@@ -177,12 +194,17 @@ type Stats struct {
 	Done         int // acked
 	DeadLettered int // attempts exhausted
 	Redelivered  int // total redeliveries performed (expiry or nack)
+
+	// OldestLease is how long the longest-outstanding lease has been held
+	// (0 with no leases) — the watch view's lease-age readout.
+	OldestLease time.Duration
 }
 
 // pendingJob carries the delivery history alongside the job.
 type pendingJob struct {
-	job     Job
-	attempt int // completed delivery attempts
+	job      Job
+	attempt  int // completed delivery attempts
+	timeline []JobEvent
 }
 
 // activeLease is the server-side record of one outstanding lease.
@@ -191,6 +213,7 @@ type activeLease struct {
 	attempt  int
 	deadline time.Time
 	since    time.Time
+	timeline []JobEvent
 }
 
 // Queue is a FIFO job queue with leased at-least-once delivery and a result
@@ -214,6 +237,15 @@ type Queue struct {
 
 	depth *obs.Gauge // per-queue depth gauge
 	last  int64      // last depth contributed to the aggregate gauge
+
+	// Per-op latency histograms ("queue.<name>.<op>.duration_ns"),
+	// resolved once at construction like the depth gauge. They time the
+	// operation itself — for the blocking Lease, the grant, not the wait
+	// for a job to appear.
+	hLease  *obs.Histogram
+	hAck    *obs.Histogram
+	hNack   *obs.Histogram
+	hExtend *obs.Histogram
 }
 
 // New returns an empty queue with default delivery options.
@@ -223,10 +255,14 @@ func New() *Queue { return NewWithOptions(Options{}) }
 func NewWithOptions(o Options) *Queue {
 	o = o.withDefaults()
 	q := &Queue{
-		opts:   o,
-		leases: make(map[uint64]*activeLease),
-		stop:   make(chan struct{}),
-		depth:  obs.G("queue." + o.Name + ".depth"),
+		opts:    o,
+		leases:  make(map[uint64]*activeLease),
+		stop:    make(chan struct{}),
+		depth:   obs.G("queue." + o.Name + ".depth"),
+		hLease:  obs.H("queue." + o.Name + ".lease.duration_ns"),
+		hAck:    obs.H("queue." + o.Name + ".ack.duration_ns"),
+		hNack:   obs.H("queue." + o.Name + ".nack.duration_ns"),
+		hExtend: obs.H("queue." + o.Name + ".extend.duration_ns"),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
@@ -251,7 +287,7 @@ func (q *Queue) Push(j Job) error {
 	if q.closed {
 		return ErrClosed
 	}
-	q.jobs = append(q.jobs, pendingJob{job: j})
+	q.jobs = append(q.jobs, pendingJob{job: j, timeline: []JobEvent{{At: time.Now(), What: "pushed"}}})
 	mPush.Inc()
 	q.setDepthLocked()
 	q.cond.Signal()
@@ -299,6 +335,9 @@ func (q *Queue) reapExpired(now time.Time) {
 	for _, id := range expired {
 		l := q.leases[id]
 		delete(q.leases, id)
+		l.timeline = append(l.timeline, JobEvent{At: now, Attempt: l.attempt, What: "expired"})
+		obs.EmitTrace(l.job.Trace, obs.EvJobExpired, obs.A("queue", q.opts.Name),
+			obs.A("job", l.job.ID), obs.A("attempt", l.attempt))
 		q.requeueLocked(l, "lease expired")
 	}
 }
@@ -307,11 +346,14 @@ func (q *Queue) reapExpired(now time.Time) {
 // dead-letters the job if its attempts are exhausted.
 func (q *Queue) requeueLocked(l *activeLease, reason string) {
 	if l.attempt >= q.opts.MaxAttempts {
-		q.dead = append(q.dead, DeadJob{Job: l.job, Attempts: l.attempt, Reason: reason})
+		tl := append(l.timeline, JobEvent{At: time.Now(), Attempt: l.attempt, What: "dead-lettered", Reason: reason})
+		q.dead = append(q.dead, DeadJob{Job: l.job, Attempts: l.attempt, Reason: reason, Timeline: tl})
 		mDead.Inc()
+		obs.EmitTrace(l.job.Trace, obs.EvJobDeadLetter, obs.A("queue", q.opts.Name),
+			obs.A("job", l.job.ID), obs.A("attempts", l.attempt), obs.A("reason", reason))
 		return
 	}
-	q.jobs = append(q.jobs, pendingJob{job: l.job, attempt: l.attempt})
+	q.jobs = append(q.jobs, pendingJob{job: l.job, attempt: l.attempt, timeline: l.timeline})
 	q.redelivered++
 	mRedeliver.Inc()
 	q.setDepthLocked()
@@ -329,9 +371,12 @@ func (q *Queue) leaseLocked() Lease {
 		attempt:  p.attempt + 1,
 		deadline: now.Add(q.opts.LeaseTimeout),
 		since:    now,
+		timeline: append(p.timeline, JobEvent{At: now, Attempt: p.attempt + 1, What: "leased"}),
 	}
 	q.leases[q.nextLease] = l
 	mLease.Inc()
+	obs.EmitTrace(p.job.Trace, obs.EvJobLeased, obs.A("queue", q.opts.Name),
+		obs.A("job", p.job.ID), obs.A("attempt", l.attempt))
 	q.setDepthLocked()
 	return Lease{Job: p.job, ID: q.nextLease, Attempt: l.attempt, Deadline: l.deadline}
 }
@@ -348,7 +393,10 @@ func (q *Queue) Lease() (Lease, error) {
 	if len(q.jobs) == 0 {
 		return Lease{}, ErrClosed
 	}
-	return q.leaseLocked(), nil
+	start := time.Now()
+	ls := q.leaseLocked()
+	q.hLease.ObserveDuration(time.Since(start))
+	return ls, nil
 }
 
 // TryLease grants a lease without blocking; ErrEmpty when nothing is
@@ -363,11 +411,15 @@ func (q *Queue) TryLease() (Lease, error) {
 		}
 		return Lease{}, ErrEmpty
 	}
-	return q.leaseLocked(), nil
+	start := time.Now()
+	ls := q.leaseLocked()
+	q.hLease.ObserveDuration(time.Since(start))
+	return ls, nil
 }
 
 // Ack settles a lease: the job is done and will not be redelivered.
 func (q *Queue) Ack(id uint64) error {
+	start := time.Now()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	l, ok := q.leases[id]
@@ -378,12 +430,16 @@ func (q *Queue) Ack(id uint64) error {
 	q.acked++
 	mAck.Inc()
 	mLeaseAge.ObserveDuration(time.Since(l.since))
+	obs.EmitTrace(l.job.Trace, obs.EvJobAcked, obs.A("queue", q.opts.Name),
+		obs.A("job", l.job.ID), obs.A("attempt", l.attempt))
+	q.hAck.ObserveDuration(time.Since(start))
 	return nil
 }
 
 // Nack hands a lease back for redelivery (or dead-lettering once attempts
 // are exhausted); reason is recorded on the dead-letter entry.
 func (q *Queue) Nack(id uint64, reason string) error {
+	start := time.Now()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	l, ok := q.leases[id]
@@ -395,7 +451,11 @@ func (q *Queue) Nack(id uint64, reason string) error {
 	if reason == "" {
 		reason = "nacked"
 	}
+	l.timeline = append(l.timeline, JobEvent{At: time.Now(), Attempt: l.attempt, What: "nacked", Reason: reason})
+	obs.EmitTrace(l.job.Trace, obs.EvJobNacked, obs.A("queue", q.opts.Name),
+		obs.A("job", l.job.ID), obs.A("attempt", l.attempt), obs.A("reason", reason))
 	q.requeueLocked(l, reason)
+	q.hNack.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -406,6 +466,7 @@ func (q *Queue) Extend(id uint64, d time.Duration) (time.Time, error) {
 	if d <= 0 {
 		d = q.opts.LeaseTimeout
 	}
+	start := time.Now()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	l, ok := q.leases[id]
@@ -413,6 +474,7 @@ func (q *Queue) Extend(id uint64, d time.Duration) (time.Time, error) {
 		return time.Time{}, ErrUnknownLease
 	}
 	l.deadline = time.Now().Add(d)
+	q.hExtend.ObserveDuration(time.Since(start))
 	return l.deadline, nil
 }
 
@@ -477,13 +539,23 @@ func (q *Queue) DeadLetters() []DeadJob {
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Pending:      len(q.jobs),
 		Leased:       len(q.leases),
 		Done:         q.acked,
 		DeadLettered: len(q.dead),
 		Redelivered:  q.redelivered,
 	}
+	if len(q.leases) > 0 {
+		oldest := time.Time{}
+		for _, l := range q.leases {
+			if oldest.IsZero() || l.since.Before(oldest) {
+				oldest = l.since
+			}
+		}
+		s.OldestLease = time.Since(oldest)
+	}
+	return s
 }
 
 // Len reports the number of queued (pending, unleased) jobs.

@@ -91,6 +91,11 @@ type Explorer struct {
 	// Coverage, when set, accumulates Krace-style alias instruction-pair
 	// coverage across trials (§2.1/§5.3.1).
 	Coverage *cover.Coverage
+
+	// Trace stitches this explorer's flight-recorder events to a campaign
+	// (a distributed worker sets it from the leased job; empty falls back to
+	// the process-local campaign).
+	Trace string
 }
 
 // Outcome summarizes the exploration of one concurrent test.
@@ -132,6 +137,12 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 	defer func() {
 		span.End(obs.A("trials", out.Trials), obs.A("exercised", out.Exercised),
 			obs.A("issues", len(out.Issues)))
+		obs.EmitTrace(x.Trace, obs.EvPMCTested, obs.A("mode", x.Mode.String()),
+			obs.A("hinted", ct.Hint != nil), obs.A("exercised", out.Exercised),
+			obs.A("trials", out.Trials), obs.A("issues", len(out.Issues)))
+		if out.NewCoverPairs > 0 {
+			obs.EmitTrace(x.Trace, obs.EvCoverNew, obs.A("pairs", out.NewCoverPairs))
+		}
 	}()
 	trials := x.Trials
 	if trials <= 0 {

@@ -64,6 +64,9 @@ const (
 	KindReport
 	// KindStage is a stage memo entry (internal; lives under stages/).
 	KindStage
+	// KindSeries is an SBTS campaign time-series (obs.EncodeSeries), the
+	// coverage-over-time trajectory a resumed campaign appends to.
+	KindSeries
 )
 
 // String names the kind for paths and diagnostics.
@@ -79,6 +82,8 @@ func (k Kind) String() string {
 		return "report"
 	case KindStage:
 		return "stage"
+	case KindSeries:
+		return "timeseries"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }

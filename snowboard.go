@@ -191,6 +191,7 @@ const (
 	KindProfiles = store.KindProfiles
 	KindPMCs     = store.KindPMCs
 	KindReport   = store.KindReport
+	KindSeries   = store.KindSeries
 )
 
 // OpenStore opens (creating if needed) an artifact store rooted at dir.
@@ -209,6 +210,12 @@ type (
 	ObsProgress = obs.Progress
 	// ObsServer is a running introspection HTTP server.
 	ObsServer = obs.Server
+	// ObsEvent is one flight-recorder entry (served at /events).
+	ObsEvent = obs.Event
+	// ObsSample is one point of the campaign coverage time-series.
+	ObsSample = obs.Sample
+	// ObsCampaign identifies one logical testing campaign (its trace ID).
+	ObsCampaign = obs.Campaign
 )
 
 // SnapshotMetrics freezes the process-wide metrics registry: every
@@ -223,8 +230,21 @@ func SnapshotMetrics() ObsSnapshot { return obs.Default.Snapshot() }
 func ObsProgressNow() ObsProgress { return obs.ProgressNow() }
 
 // StartObsServer serves live introspection on addr: /metrics (Prometheus
-// text), /progress (JSON), /debug/vars (expvar), and /debug/pprof/.
+// text), /progress (JSON), /events (flight recorder), /coverage (campaign
+// time-series), /campaign, /debug/vars (expvar), and /debug/pprof/.
 func StartObsServer(addr string) (*ObsServer, error) { return obs.StartHTTP(addr) }
+
+// EventsSince returns the flight recorder's retained events with sequence
+// numbers strictly greater than n, ascending — the /events?since=N page.
+func EventsSince(n uint64) []ObsEvent { return obs.Events.Since(n) }
+
+// CoverageSeries returns a copy of the campaign coverage time-series
+// accumulated so far (and persisted as an SBTS artifact with -state).
+func CoverageSeries() []ObsSample { return obs.DefaultSeries.Samples() }
+
+// CurrentCampaign returns the process-wide campaign identity, or nil before
+// any pipeline started one.
+func CurrentCampaign() *ObsCampaign { return obs.CurrentCampaign() }
 
 // Exploration modes for the Explorer.
 const (
