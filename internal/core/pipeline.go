@@ -198,7 +198,12 @@ func (p *Pipeline) SetProfiles(profiles []pmc.Profile) {
 }
 
 // IdentifyPMCs runs Algorithm 1 over the profiles (stage 2), sharded by
-// reader profile.
+// reader profile. With a store attached, an exact-profile-set match
+// restores the stored PMC set outright; otherwise identification runs
+// incrementally against the longest stored batch-chain prefix (see
+// identifyIncremental), so a resumed campaign with a grown corpus pays
+// only for the delta. Without a store it is a plain one-shot
+// identification — the two paths produce deep-equal sets.
 func (p *Pipeline) IdentifyPMCs(r *Report) {
 	span := obs.StartSpan("stage.identify", obs.A("profiles", len(p.Profiles)))
 	var profilesDigest store.Digest
@@ -216,7 +221,11 @@ func (p *Pipeline) IdentifyPMCs(r *Report) {
 		}
 		mStoreMisses.Inc()
 	}
-	p.PMCs = pmc.IdentifyParallel(p.Profiles, p.Opts.PMC, p.workers())
+	if p.store != nil {
+		p.PMCs = p.identifyIncremental()
+	} else {
+		p.PMCs = pmc.IdentifyParallel(p.Profiles, p.Opts.PMC, p.workers())
+	}
 	p.pmcDigest = store.Digest{}
 	r.DistinctPMCs = p.PMCs.Len()
 	r.PMCCombinations = p.PMCs.TotalCombinations

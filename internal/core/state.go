@@ -341,6 +341,125 @@ func (p *Pipeline) saveIdentifyStage(r *Report, profilesDigest store.Digest) {
 	})
 }
 
+// Incremental identification memo chain. The monolithic identify memo
+// (identifyKey → SBPM set) answers "has this exact profile set been
+// identified before"; the chain answers the more useful resumed-campaign
+// question "how large a *prefix* of it has". Profiles split into fixed
+// identifyBatchSize batches and each full batch b gets a chain key
+//
+//	d_b = Key("identify-chain", codecs, PMC options, prev=d_{b-1}, batch=digest(batch b))
+//
+// — digest-linked like the corpus→profile→PMC chain, so a key pins the
+// entire batch prefix behind it, not just its own contents. One SBPI
+// snapshot (pmc.EncodeIncremental) is persisted per run under the key of
+// the last full batch; a resumed campaign with a longer profile set probes
+// its chain keys longest-prefix-first, loads the snapshot, and identifies
+// only the delta batches. Deterministic campaigns grow their corpus as a
+// prefix of any larger-budget run of the same seed, so the chains align
+// exactly where the work is shared.
+//
+// identifyBatchSize is fixed — never derived from worker count or corpus
+// size — because the batch boundaries are part of the chain keys: two runs
+// must slice identically to share snapshots.
+const identifyBatchSize = 16
+
+// identifyChainKeys returns the chain key of every full identifyBatchSize
+// batch of the current profiles (nil on encoding failure).
+func (p *Pipeline) identifyChainKeys() []store.Digest {
+	full := len(p.Profiles) / identifyBatchSize
+	keys := make([]store.Digest, 0, full)
+	prev := store.Digest{}
+	for b := 0; b < full; b++ {
+		var buf bytes.Buffer
+		if err := pmc.EncodeProfiles(&buf, p.Profiles[b*identifyBatchSize:(b+1)*identifyBatchSize]); err != nil {
+			obs.Diag.Printf("stage identify: encode chain batch %d: %v", b, err)
+			return nil
+		}
+		prev = store.Key(keyPrefix, "identify-chain",
+			fmt.Sprintf("incr-codec=%d", pmc.IncrementalCodecVersion),
+			fmt.Sprintf("set-codec=%d", pmc.SetCodecVersion),
+			fmt.Sprintf("profiles-codec=%d", pmc.ProfilesCodecVersion),
+			fmt.Sprintf("batch-size=%d", identifyBatchSize),
+			fmt.Sprintf("self-pairs=%t", p.Opts.PMC.AllowSelfPairs),
+			fmt.Sprintf("skip-value-filter=%t", p.Opts.PMC.SkipValueFilter),
+			"prev="+prev.String(),
+			"batch="+store.Sum(buf.Bytes()).String(),
+		)
+		keys = append(keys, prev)
+	}
+	return keys
+}
+
+// loadIncrementalStage probes the chain keys longest-prefix-first for a
+// stored SBPI snapshot and returns a resumable incremental identifier plus
+// the number of batches it already covers (a fresh identifier and 0 when
+// nothing usable is stored). Probes are not stage cache hits or misses —
+// the identify stage as a whole accounts those — so this bumps neither
+// counter.
+func (p *Pipeline) loadIncrementalStage(keys []store.Digest) (*pmc.Incremental, int) {
+	for b := len(keys) - 1; b >= 0; b-- {
+		payload, _, out, ok := p.loadStage("identify-chain", keys[b], store.KindPMCIndex)
+		if !ok {
+			continue
+		}
+		inc, err := pmc.DecodeIncremental(bytes.NewReader(payload), p.Opts.PMC)
+		if err != nil {
+			obs.Diag.Printf("stage identify: discarding undecodable SBPI artifact %s: %v", out.Short(), err)
+			continue
+		}
+		if inc.Profiles() != (b+1)*identifyBatchSize {
+			obs.Diag.Printf("stage identify: discarding SBPI artifact %s: covers %d profiles, chain key expects %d",
+				out.Short(), inc.Profiles(), (b+1)*identifyBatchSize)
+			continue
+		}
+		obs.Diag.Printf("stage identify: SBPI index loaded (%s, %d batches, %d profiles, %d PMCs)",
+			out.Short(), inc.Batches(), inc.Profiles(), inc.Set().Len())
+		return inc, b + 1
+	}
+	return pmc.NewIncremental(p.Opts.PMC), 0
+}
+
+// saveIncrementalStage persists the SBPI snapshot under the chain key of
+// the last full batch it covers.
+func (p *Pipeline) saveIncrementalStage(key store.Digest, inc *pmc.Incremental) {
+	var buf bytes.Buffer
+	if err := pmc.EncodeIncremental(&buf, inc); err != nil {
+		obs.Diag.Printf("stage identify: encode SBPI snapshot: %v", err)
+		return
+	}
+	p.saveStage("identify-chain", key, store.KindPMCIndex, buf.Bytes(), nil)
+}
+
+// identifyIncremental runs Algorithm 1 as a chain of profile-batch deltas:
+// resume from the longest stored snapshot prefix, identify only the
+// remaining batches, persist a snapshot covering the full batches, then
+// fold in the sub-batch tail. The result is deep-equal to
+// pmc.IdentifyParallel over the whole profile set — Set merges are order-
+// independent, so partitioning into batches cannot change the outcome.
+func (p *Pipeline) identifyIncremental() *pmc.Set {
+	keys := p.identifyChainKeys()
+	inc, resume := p.loadIncrementalStage(keys)
+	start := resume * identifyBatchSize
+	workers := p.workers()
+	for b := resume; b < len(keys); b++ {
+		inc.AddBatchParallel(p.Profiles[b*identifyBatchSize:(b+1)*identifyBatchSize], workers)
+	}
+	if resume < len(keys) {
+		p.saveIncrementalStage(keys[len(keys)-1], inc)
+	}
+	if tail := p.Profiles[len(keys)*identifyBatchSize:]; len(tail) > 0 {
+		inc.AddBatchParallel(tail, workers)
+	}
+	set := inc.Set()
+	obs.Diag.Printf("stage identify: delta identification: %d/%d profiles identified incrementally (%d resumed from snapshot)",
+		len(p.Profiles)-start, len(p.Profiles), start)
+	obs.G(obs.MPMCIdentified).Set(int64(set.Len()))
+	obs.G(obs.MPMCCombinations).Set(set.TotalCombinations)
+	obs.Emit(obs.EvPMCIdentified, obs.A("keys", set.Len()),
+		obs.A("combinations", set.TotalCombinations))
+	return set
+}
+
 // ensureCorpusDigest returns the content digest of the current corpus,
 // encoding and persisting the artifact if it is not yet known (e.g. the
 // corpus was installed with SetCorpus rather than built by BuildCorpus).

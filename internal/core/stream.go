@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"snowboard/internal/corpus"
+	"snowboard/internal/fuzz"
+	"snowboard/internal/obs"
+	"snowboard/internal/par"
+	"snowboard/internal/pmc"
+	"snowboard/internal/store"
+	"snowboard/internal/trace"
+)
+
+// StreamCampaign runs stages 1a–2 as one streaming campaign: after every
+// fuzzing round, the round's newly admitted programs are immediately
+// profiled and fed to an incremental identifier (pmc.Incremental), so the
+// PMC database grows alongside the corpus instead of waiting for the whole
+// campaign to finish. At no point does the pipeline hold work proportional
+// to the corpus beyond the analysis state itself — each round's profiles
+// are compacted into the identifier as they arrive.
+//
+// The result is exactly the staged path's: fuzz round admission is
+// in-order, so the concatenated rounds ARE the corpus BuildCorpus would
+// select; profiling is a pure per-program function of the boot snapshot,
+// so the profiles match ProfileAll's; and incremental identification over
+// any batch partition deep-equals the one-shot Identify (the difftest
+// package proves that equivalence). TestStreamCampaignEqualsStaged asserts
+// all three.
+//
+// Stage timings are attributed by measurement: the in-round profile and
+// identify work is timed and subtracted from the campaign wall clock to
+// give FuzzTime.
+func (p *Pipeline) StreamCampaign(r *Report) error {
+	span := obs.StartSpan("stage.stream", obs.A("budget", p.Opts.FuzzBudget),
+		obs.A("workers", p.workers()))
+	envs := p.workerEnvs(p.workers())
+	inc := pmc.NewIncremental(p.Opts.PMC)
+	p.Profiles = p.Profiles[:0]
+	p.profilesDigest = store.Digest{}
+
+	type profiled struct {
+		accs    trace.Block
+		df      map[int]bool
+		crashed bool
+		faults  []string
+	}
+	var (
+		profErr             error
+		profTime, identTime time.Duration
+		accesses            int
+	)
+	res := fuzz.CampaignShardedFunc(envs, p.Opts.Seed, p.Opts.FuzzBudget, p.Opts.CorpusCap,
+		func(round int, admitted []*corpus.Prog) {
+			if profErr != nil || len(admitted) == 0 {
+				return
+			}
+			t0 := time.Now()
+			base := len(p.Profiles)
+			units := par.Map(len(envs), len(admitted), func(w, i int) profiled {
+				accs, df, res := envs[w].Profile(admitted[i])
+				if res.Crashed() {
+					return profiled{crashed: true, faults: res.Faults}
+				}
+				return profiled{accs: accs, df: df}
+			})
+			batch := make([]pmc.Profile, 0, len(admitted))
+			for i, u := range units {
+				if u.crashed {
+					profErr = fmt.Errorf("core: corpus test %d crashed during profiling: %v", base+i, u.faults)
+					return
+				}
+				// Admission is in-order, so base+i is the program's corpus
+				// index — the same TestID ProfileAll would assign.
+				batch = append(batch, pmc.Profile{TestID: base + i, Accesses: u.accs, DFLeader: u.df})
+				accesses += u.accs.Len()
+			}
+			p.Profiles = append(p.Profiles, batch...)
+			profTime += time.Since(t0)
+			t1 := time.Now()
+			inc.AddBatchParallel(batch, len(envs))
+			identTime += time.Since(t1)
+		})
+	if profErr != nil {
+		span.End(obs.A("error", profErr.Error()))
+		return profErr
+	}
+	p.Corpus = res.Corpus
+	p.corpusDigest = store.Digest{}
+	p.PMCs = inc.Set()
+	p.pmcDigest = store.Digest{}
+
+	r.CorpusSize = p.Corpus.Len()
+	r.FuzzExecutions = res.Executed
+	r.ProfiledAccesses += accesses
+	r.DistinctPMCs = p.PMCs.Len()
+	r.PMCCombinations = p.PMCs.TotalCombinations
+	total := span.End(obs.A("corpus", r.CorpusSize), obs.A("batches", inc.Batches()),
+		obs.A("pmcs", r.DistinctPMCs))
+	r.ProfileTime = profTime
+	r.IdentifyTime = identTime
+	if fuzzT := total - profTime - identTime; fuzzT > 0 {
+		r.FuzzTime = fuzzT
+	}
+	obs.Emit(obs.EvPMCIdentified, obs.A("keys", p.PMCs.Len()),
+		obs.A("combinations", p.PMCs.TotalCombinations))
+
+	// With a store attached, persist the final artifacts and memos so a
+	// staged (or another streaming) run over the same options resumes from
+	// them — the artifacts are identical to the staged path's, so the
+	// memo entries interoperate.
+	if p.store != nil {
+		p.saveCorpusStage(r)
+		if cd, err := p.ensureCorpusDigest(); err == nil {
+			p.saveProfileStage(cd, accesses, r.ProfileTime)
+		}
+		if pd, err := p.ensureProfilesDigest(); err == nil {
+			p.saveIdentifyStage(r, pd)
+		}
+	}
+	p.stageDone("stream", false, total)
+	return nil
+}

@@ -28,19 +28,20 @@ import (
 // Well-known event kinds. Attrs carry the specifics; Kind is what
 // consumers filter on.
 const (
-	EvCampaignStart = "campaign.start"   // a campaign (pipeline or coordinator) began
-	EvCampaignDone  = "campaign.done"    // the campaign finished
-	EvStageDone     = "stage.done"       // one pipeline stage completed (attrs: stage, cache, dur_ms, ...)
-	EvPMCIdentified = "pmc.identified"   // Algorithm 1 finished (attrs: keys, combinations)
-	EvPMCTested     = "pmc.tested"       // one concurrent test explored (attrs: hinted, exercised, trials)
-	EvCoverNew      = "cover.new"        // coverage grew (attrs: edges or pairs delta)
-	EvRaceFound     = "race.found"       // a crash-level oracle finding surfaced
-	EvExecCrash     = "exec.crash"       // a VM execution crashed the simulated kernel
-	EvJobLeased     = "job.leased"       // queue: job delivered under a lease
-	EvJobAcked      = "job.acked"        // queue: lease settled successfully
-	EvJobNacked     = "job.nacked"       // queue: lease handed back by a worker
-	EvJobExpired    = "job.expired"      // queue: lease reaped after its deadline
-	EvJobDeadLetter = "job.deadlettered" // queue: delivery attempts exhausted
+	EvCampaignStart  = "campaign.start"   // a campaign (pipeline or coordinator) began
+	EvCampaignDone   = "campaign.done"    // the campaign finished
+	EvStageDone      = "stage.done"       // one pipeline stage completed (attrs: stage, cache, dur_ms, ...)
+	EvPMCIdentified  = "pmc.identified"   // Algorithm 1 finished (attrs: keys, combinations)
+	EvPMCIncremental = "pmc.incremental"  // one profile batch ingested incrementally (attrs: batch, profiles, delta, keys)
+	EvPMCTested      = "pmc.tested"       // one concurrent test explored (attrs: hinted, exercised, trials)
+	EvCoverNew       = "cover.new"        // coverage grew (attrs: edges or pairs delta)
+	EvRaceFound      = "race.found"       // a crash-level oracle finding surfaced
+	EvExecCrash      = "exec.crash"       // a VM execution crashed the simulated kernel
+	EvJobLeased      = "job.leased"       // queue: job delivered under a lease
+	EvJobAcked       = "job.acked"        // queue: lease settled successfully
+	EvJobNacked      = "job.nacked"       // queue: lease handed back by a worker
+	EvJobExpired     = "job.expired"      // queue: lease reaped after its deadline
+	EvJobDeadLetter  = "job.deadlettered" // queue: delivery attempts exhausted
 )
 
 // Event is one flight-recorder entry. Seq is a process-wide monotone

@@ -45,6 +45,12 @@ const (
 	MPMCIdentified   = "pmc.identified"   // gauge: distinct PMC keys in the last identified set
 	MPMCCombinations = "pmc.combinations" // gauge: uncapped (PMC, writer, reader) combinations
 
+	// Incremental identification (pmc.Incremental): profiles diff against a
+	// cumulative index instead of re-pairing the whole corpus.
+	MIncrBatches    = "pmc.incremental.batches"     // counter: profile batches ingested incrementally
+	MIncrDeltaPairs = "pmc.incremental.delta_pairs" // counter: combinations identified by delta scans
+	MIncrReuse      = "pmc.incremental.reuse_ratio" // gauge: percent of cumulative combinations reused (not re-scanned) by the latest batch
+
 	// Stage 3/4: generation and concurrent execution.
 	MGenTests        = "gen.tests"               // counter: concurrent tests generated
 	MExecTests       = "exec.tests"              // counter: concurrent tests explored

@@ -109,61 +109,87 @@ func EncodeProfiles(w io.Writer, profiles []Profile) error {
 // DecodeProfiles parses a compact profile set. DFLeader marks must index
 // into the profile's accesses and be strictly increasing.
 func DecodeProfiles(r io.Reader) ([]Profile, error) {
+	// Clamp the preallocation: the count is untrusted until profiles arrive.
+	out := make([]Profile, 0, 1024)
+	err := StreamProfiles(r, func(p Profile) error {
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// errStopStream signals early termination requested by a StreamProfiles
+// callback (distinguished from a decode failure).
+var errStopStream = errors.New("pmc: profile stream stopped")
+
+// StopStream, returned from a StreamProfiles callback, terminates the
+// stream early without error.
+func StopStream() error { return errStopStream }
+
+// StreamProfiles parses an SBPS profile set one profile at a time, calling
+// fn for each — the streaming core DecodeProfiles is built on. The whole
+// set is never materialized, so identification can ingest corpora of any
+// size in bounded memory (Incremental.IngestStream). fn may return
+// StopStream() to end the scan early; any other error aborts the stream
+// and is returned as-is.
+func StreamProfiles(r io.Reader, fn func(Profile) error) error {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadProfiles, err)
+		return fmt.Errorf("%w: %v", ErrBadProfiles, err)
 	}
 	if string(magic[:]) != profilesMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadProfiles, magic)
+		return fmt.Errorf("%w: bad magic %q", ErrBadProfiles, magic)
 	}
 	ver, err := br.ReadByte()
 	if err != nil || ver != profilesVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrBadProfiles, ver)
+		return fmt.Errorf("%w: version %d", ErrBadProfiles, ver)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil || count > maxProfiles {
-		return nil, fmt.Errorf("%w: profile count", ErrBadProfiles)
+		return fmt.Errorf("%w: profile count", ErrBadProfiles)
 	}
-	// Clamp the preallocation: the count is untrusted until profiles arrive.
-	capHint := count
-	if capHint > 1024 {
-		capHint = 1024
-	}
-	out := make([]Profile, 0, capHint)
 	for i := uint64(0); i < count; i++ {
 		testID, err := binary.ReadUvarint(br)
 		if err != nil || testID > maxDecodedTestID {
-			return nil, fmt.Errorf("%w: profile %d: test id", ErrBadProfiles, i)
+			return fmt.Errorf("%w: profile %d: test id", ErrBadProfiles, i)
 		}
 		accs, err := trace.ReadBlock(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: profile %d: %v", ErrBadProfiles, i, err)
+			return fmt.Errorf("%w: profile %d: %v", ErrBadProfiles, i, err)
 		}
 		nmarks, err := binary.ReadUvarint(br)
 		if err != nil || nmarks > uint64(accs.Len()) {
-			return nil, fmt.Errorf("%w: profile %d: mark count", ErrBadProfiles, i)
+			return fmt.Errorf("%w: profile %d: mark count", ErrBadProfiles, i)
 		}
 		df := make(map[int]bool, nmarks)
 		idx, first := 0, true
 		for m := uint64(0); m < nmarks; m++ {
 			d, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("%w: profile %d: mark %d", ErrBadProfiles, i, m)
+				return fmt.Errorf("%w: profile %d: mark %d", ErrBadProfiles, i, m)
 			}
 			if !first && d == 0 {
-				return nil, fmt.Errorf("%w: profile %d: marks not strictly increasing", ErrBadProfiles, i)
+				return fmt.Errorf("%w: profile %d: marks not strictly increasing", ErrBadProfiles, i)
 			}
 			idx += int(d)
 			first = false
 			if idx < 0 || idx >= accs.Len() {
-				return nil, fmt.Errorf("%w: profile %d: mark index %d out of range", ErrBadProfiles, i, idx)
+				return fmt.Errorf("%w: profile %d: mark index %d out of range", ErrBadProfiles, i, idx)
 			}
 			df[idx] = true
 		}
-		out = append(out, Profile{TestID: int(testID), Accesses: accs, DFLeader: df})
+		if err := fn(Profile{TestID: int(testID), Accesses: accs, DFLeader: df}); err != nil {
+			if errors.Is(err, errStopStream) {
+				return nil
+			}
+			return err
+		}
 	}
-	return out, nil
+	return nil
 }
 
 // pmcLess orders PMCs canonically (keyLess is shared with triple.go):

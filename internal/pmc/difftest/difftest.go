@@ -1,0 +1,185 @@
+// Package difftest is the differential equivalence harness for PMC
+// identification: it generates seeded synthetic profile corpora, partitions
+// them into batches, and renders PMC sets canonically so tests can assert —
+// structurally, field by field — that incremental identification
+// (pmc.Incremental) fed any partition of a corpus, in any batch order, at
+// any worker count, produces exactly the set a one-shot pmc.Identify
+// returns.
+//
+// The package is a library, not a test file, so both the in-package tests
+// and the external fuzz target (FuzzIncrementalIdentify) share one
+// generator and one comparison; a divergence found by either reproduces in
+// the other from the same seed or byte string.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"snowboard/internal/pmc"
+	"snowboard/internal/trace"
+)
+
+// insPool is the narrow instruction pool the generator draws from: few
+// enough distinct instructions that many (writer, reader) pairs collide on
+// the same PMC keys and push the bounded pair lists past MaxPairsPerPMC —
+// the regime where merge-order bugs would show.
+var insPool = []trace.Ins{
+	trace.DefIns("difftest:w1"),
+	trace.DefIns("difftest:w2"),
+	trace.DefIns("difftest:r1"),
+	trace.DefIns("difftest:r2"),
+}
+
+// GenCorpus produces n synthetic profiles from a narrow address/value pool,
+// with double-fetch leader marks sprinkled on reads. Everything derives
+// from rng, so a corpus regenerates exactly from its seed.
+func GenCorpus(rng *rand.Rand, n int) []pmc.Profile {
+	profiles := make([]pmc.Profile, n)
+	for i := range profiles {
+		var accs trace.Block
+		df := make(map[int]bool)
+		m := 4 + rng.Intn(12)
+		for j := 0; j < m; j++ {
+			kind := trace.Read
+			if rng.Intn(2) == 0 {
+				kind = trace.Write
+			}
+			accs.Append(trace.Access{
+				Ins:  insPool[rng.Intn(len(insPool))],
+				Kind: kind,
+				Addr: 0x100 + uint64(rng.Intn(12)),
+				Size: uint8(1 + rng.Intn(8)),
+				Val:  uint64(rng.Intn(4)),
+			})
+			if kind == trace.Read && rng.Intn(4) == 0 {
+				df[j] = true
+			}
+		}
+		profiles[i] = pmc.Profile{TestID: i, Accesses: accs, DFLeader: df}
+	}
+	return profiles
+}
+
+// Partition splits profiles into k contiguous batches whose concatenation
+// is the input (k is clamped to [1, len(profiles)]; empty input yields
+// nil). Batch sizes differ by at most one, so k=len(profiles) is the
+// one-profile-per-batch extreme and k=1 the single-batch one.
+func Partition(profiles []pmc.Profile, k int) [][]pmc.Profile {
+	if len(profiles) == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(profiles) {
+		k = len(profiles)
+	}
+	out := make([][]pmc.Profile, 0, k)
+	start := 0
+	for b := 0; b < k; b++ {
+		end := start + (len(profiles)-start)/(k-b)
+		out = append(out, profiles[start:end])
+		start = end
+	}
+	return out
+}
+
+// render flattens a Set into canonical lines: one per entry — key, DF flag,
+// full bounded pair list, uncapped pair count — plus a trailer with the
+// aggregate counts. Two sets render identically iff they are deep-equal in
+// every field the equivalence contract covers.
+func render(s *pmc.Set) []string {
+	out := make([]string, 0, len(s.Entries)+1)
+	for key, e := range s.Entries {
+		out = append(out, fmt.Sprintf("%v|df=%v|pairs=%v|count=%d", key, e.PMC.DFLeader, e.Pairs, e.PairCount))
+	}
+	sort.Strings(out)
+	out = append(out, fmt.Sprintf("entries=%d|total=%d", s.Len(), s.TotalCombinations))
+	return out
+}
+
+// Diff compares two PMC sets structurally — entries, DFLeader flags,
+// bounded pair lists, pair counts, and TotalCombinations — and returns a
+// human-readable description of the first divergences, or "" when the sets
+// are deep-equal.
+func Diff(want, got *pmc.Set) string {
+	w, g := render(want), render(got)
+	if len(w) == len(g) {
+		eq := true
+		for i := range w {
+			if w[i] != g[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return ""
+		}
+	}
+	wset := make(map[string]bool, len(w))
+	for _, l := range w {
+		wset[l] = true
+	}
+	gset := make(map[string]bool, len(g))
+	for _, l := range g {
+		gset[l] = true
+	}
+	var b strings.Builder
+	miss, extra := 0, 0
+	for _, l := range w {
+		if !gset[l] {
+			if miss < 5 {
+				fmt.Fprintf(&b, "missing: %s\n", l)
+			}
+			miss++
+		}
+	}
+	for _, l := range g {
+		if !wset[l] {
+			if extra < 5 {
+				fmt.Fprintf(&b, "extra:   %s\n", l)
+			}
+			extra++
+		}
+	}
+	fmt.Fprintf(&b, "%d missing, %d extra lines", miss, extra)
+	return b.String()
+}
+
+// FromBytes decodes an arbitrary byte string into profiles — the fuzz-side
+// twin of GenCorpus. Eight bytes describe one access (kind+DF mark,
+// instruction, address offset, size, two value bytes, profile slot, spare),
+// clamped into ranges Identify accepts, so every input is a valid corpus
+// and the fuzzer explores identification behavior, not decoder rejects.
+func FromBytes(data []byte) []pmc.Profile {
+	const perAccess = 8
+	profiles := make([]pmc.Profile, 1+len(data)/(perAccess*4))
+	for i := range profiles {
+		profiles[i].TestID = i
+		profiles[i].DFLeader = make(map[int]bool)
+	}
+	for i := 0; i+perAccess <= len(data); i += perAccess {
+		b := data[i : i+perAccess]
+		kind := trace.Read
+		if b[0]&1 == 0 {
+			kind = trace.Write
+		}
+		acc := trace.Access{
+			Ins:  trace.Ins(uint32(b[1])),
+			Kind: kind,
+			Addr: 0x1000 + uint64(b[2]),
+			Size: 1 + b[3]%8,
+			Val:  uint64(b[4]) | uint64(b[5])<<8,
+		}
+		slot := int(b[6]) % len(profiles)
+		p := &profiles[slot]
+		p.Accesses.Append(acc)
+		if kind == trace.Read && b[0]&2 != 0 {
+			p.DFLeader[p.Accesses.Len()-1] = true
+		}
+	}
+	return profiles
+}

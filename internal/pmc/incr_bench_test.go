@@ -1,0 +1,79 @@
+package pmc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"snowboard/internal/trace"
+)
+
+// benchCorpus generates n profiles with address spread proportional to n,
+// keeping per-read collision density roughly constant so the full identify
+// baseline scales near-linearly and the append-one measurement isolates the
+// incremental machinery (seal amortization + delta scans) rather than
+// pathological collision blowup.
+func benchCorpus(rng *rand.Rand, n, firstTest int) []Profile {
+	insPool := []trace.Ins{insW1, insW2, insR1, insR2}
+	spread := 4 * n
+	if spread < 64 {
+		spread = 64
+	}
+	profiles := make([]Profile, n)
+	for i := range profiles {
+		var accs trace.Block
+		for j := 0; j < 8; j++ {
+			kind := trace.Read
+			if j%2 == 0 {
+				kind = trace.Write
+			}
+			accs.Append(trace.Access{
+				Ins:  insPool[rng.Intn(len(insPool))],
+				Kind: kind,
+				Addr: 0x10000 + uint64(rng.Intn(spread)),
+				Size: uint8(1 + rng.Intn(8)),
+				Val:  uint64(rng.Intn(4)),
+			})
+		}
+		profiles[i] = Profile{TestID: firstTest + i, Accesses: accs}
+	}
+	return profiles
+}
+
+// BenchmarkIdentifyIncremental quantifies the O(delta) claim behind the
+// incremental engine: "full" re-identifies the whole corpus from scratch
+// (what a resumed campaign had to pay before SBPI snapshots), "append1"
+// adds a single profile to an already-built incremental index. The
+// acceptance bar — append1 under 5% of full at the 10k corpus — is checked
+// by the recorded numbers in BENCH_incr.json. The 100k corpus is skipped
+// under -short so the CI smoke stays fast.
+func BenchmarkIdentifyIncremental(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		if n > 10_000 && testing.Short() {
+			continue
+		}
+		profiles := benchCorpus(rand.New(rand.NewSource(int64(n))), n, 0)
+
+		b.Run(fmt.Sprintf("full/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				IdentifyParallel(profiles, DefaultOptions(), 4)
+			}
+		})
+
+		b.Run(fmt.Sprintf("append1/%d", n), func(b *testing.B) {
+			inc := NewIncremental(DefaultOptions())
+			inc.AddBatchParallel(profiles, 4)
+			// A pool of fresh profiles to append, drawn round-robin so each
+			// iteration ingests a batch of exactly one unseen profile.
+			extra := benchCorpus(rand.New(rand.NewSource(int64(n)+1)), 256, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := extra[i%len(extra)]
+				p.TestID = n + i
+				inc.AddBatch([]Profile{p})
+			}
+		})
+	}
+}

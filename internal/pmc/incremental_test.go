@@ -1,0 +1,154 @@
+package pmc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"snowboard/internal/trace"
+)
+
+// incrCorpus generates a dense profile corpus with DF marks for SBPI tests
+// (the richer cross-package generator lives in difftest; this one only
+// needs to produce decodable state).
+func incrCorpus(rng *rand.Rand, n int) []Profile {
+	profiles := genProfiles(rng)
+	for len(profiles) < n {
+		profiles = append(profiles, genProfiles(rng)...)
+	}
+	profiles = profiles[:n]
+	for i := range profiles {
+		profiles[i].TestID = i
+		df := make(map[int]bool)
+		for ai := 0; ai < profiles[i].Accesses.Len(); ai++ {
+			if profiles[i].Accesses.KindAt(ai) == trace.Read && rng.Intn(3) == 0 {
+				df[ai] = true
+			}
+		}
+		profiles[i].DFLeader = df
+	}
+	return profiles
+}
+
+// TestIncrementalRoundTrip: decode(encode(x)) restores an Incremental that
+// (a) carries the same cumulative set and accounting, and (b) continues —
+// fed the remaining batches, it lands on the same set as an uninterrupted
+// incremental run and as a one-shot Identify. Re-encoding the decoded
+// state must reproduce the bytes exactly (canonical form), which is what
+// keeps SBPI content addresses stable across snapshot/restore cycles.
+func TestIncrementalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		opt := DefaultOptions()
+		if trial%3 == 1 {
+			opt.AllowSelfPairs = false
+		}
+		profiles := incrCorpus(rng, 6+rng.Intn(10))
+		cut := 1 + rng.Intn(len(profiles)-1)
+		want := flatten(Identify(profiles, opt))
+
+		a := NewIncremental(opt)
+		a.AddBatch(profiles[:cut])
+		var bufA bytes.Buffer
+		if err := EncodeIncremental(&bufA, a); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+
+		dec, err := DecodeIncremental(bytes.NewReader(bufA.Bytes()), opt)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if dec.Profiles() != cut || dec.Batches() != a.Batches() {
+			t.Fatalf("trial %d: decoded accounting %d profiles/%d batches, want %d/%d",
+				trial, dec.Profiles(), dec.Batches(), cut, a.Batches())
+		}
+		if got := flatten(dec.Set()); !reflect.DeepEqual(got, flatten(a.Set())) {
+			t.Fatalf("trial %d: decoded set differs from encoded", trial)
+		}
+
+		// Re-encode must be byte-identical (canonical form).
+		var buf2 bytes.Buffer
+		if err := EncodeIncremental(&buf2, dec); err != nil {
+			t.Fatalf("trial %d: re-encode: %v", trial, err)
+		}
+		if !bytes.Equal(bufA.Bytes(), buf2.Bytes()) {
+			t.Fatalf("trial %d: SBPI encoding not canonical across decode", trial)
+		}
+
+		// Resume: the decoded identifier fed the rest equals the one-shot.
+		dec.AddBatchParallel(profiles[cut:], 2)
+		if got := flatten(dec.Set()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: resumed identification diverges from one-shot Identify\ngot:  %v\nwant: %v",
+				trial, got, want)
+		}
+	}
+}
+
+// TestIncrementalDecodeTruncated: every strict prefix of a valid SBPI
+// encoding must fail with ErrBadIncremental, never panic or succeed.
+func TestIncrementalDecodeTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	inc := NewIncremental(DefaultOptions())
+	inc.AddBatch(incrCorpus(rng, 8))
+	var buf bytes.Buffer
+	if err := EncodeIncremental(&buf, inc); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut += 3 {
+		if _, err := DecodeIncremental(bytes.NewReader(data[:cut]), DefaultOptions()); !errors.Is(err, ErrBadIncremental) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want ErrBadIncremental", cut, len(data), err)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := DecodeIncremental(bytes.NewReader(append(append([]byte(nil), data...), 0x7f)), DefaultOptions()); !errors.Is(err, ErrBadIncremental) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadIncremental", err)
+	}
+}
+
+// TestIncrementalDecodeRejectsCorruptHeader covers the structural checks:
+// wrong magic, wrong version, and reader/profile count mismatches.
+func TestIncrementalDecodeRejectsCorruptHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	inc := NewIncremental(DefaultOptions())
+	inc.AddBatch(incrCorpus(rng, 4))
+	var buf bytes.Buffer
+	if err := EncodeIncremental(&buf, inc); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := DecodeIncremental(bytes.NewReader(bad), DefaultOptions()); !errors.Is(err, ErrBadIncremental) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[4] = incrementalVersion + 1
+	if _, err := DecodeIncremental(bytes.NewReader(bad), DefaultOptions()); !errors.Is(err, ErrBadIncremental) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+}
+
+// TestIncrementalEmpty pins the degenerate cases: an empty batch is a
+// no-op, and an empty identifier round-trips.
+func TestIncrementalEmpty(t *testing.T) {
+	inc := NewIncremental(DefaultOptions())
+	inc.AddBatch(nil)
+	if inc.Batches() != 0 || inc.Profiles() != 0 || inc.Set().Len() != 0 {
+		t.Fatalf("empty batch mutated state: %d batches, %d profiles", inc.Batches(), inc.Profiles())
+	}
+	var buf bytes.Buffer
+	if err := EncodeIncremental(&buf, inc); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeIncremental(bytes.NewReader(buf.Bytes()), DefaultOptions())
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if dec.Set().Len() != 0 || dec.Profiles() != 0 {
+		t.Fatalf("decoded empty identifier not empty")
+	}
+}

@@ -11,6 +11,15 @@ import (
 // access is at most 8 bytes, a read [a, a+n) can only overlap writes whose
 // start address lies in (a-8, a+n); the sorted outer index makes that a
 // binary search plus a bounded scan.
+//
+// The index is appendable: addWrite may be called again after a seal, and
+// the next seal folds the additions in incrementally — new bucket starts
+// are merged into the sorted outer order (O(existing + new), not a full
+// re-sort) and only buckets that actually received writes re-sort their
+// nested order. Each seal bumps the generation counter, so snapshots and
+// diagnostics can tell index versions apart. This is what lets
+// Incremental grow one cumulative write index across profile batches
+// instead of rebuilding it per identification.
 
 // writeRec is one indexed write, self-contained: it copies the four access
 // features Algorithm 1 needs rather than pointing into a profile, so the
@@ -30,13 +39,36 @@ const maxAccessSize = 8
 
 type bucket struct {
 	start  uint64
-	writes []writeRec // ordered by (size, ins) after seal
+	writes []writeRec
+	// sorted counts the prefix of writes already in nested (size, ins)
+	// order; writes appended since the last seal lie past it.
+	sorted int
+}
+
+// resort restores the nested (length, instruction) order. The stable sort
+// keeps insertion order among equal (size, ins) writes.
+func (b *bucket) resort() {
+	ws := b.writes
+	sort.SliceStable(ws, func(i, j int) bool {
+		if ws[i].size != ws[j].size {
+			return ws[i].size < ws[j].size
+		}
+		return ws[i].ins < ws[j].ins
+	})
+	b.sorted = len(ws)
 }
 
 type index struct {
 	buckets map[uint64]*bucket
-	starts  []uint64 // sorted bucket start addresses, valid after seal
-	sealed  bool
+	starts  []uint64 // sorted bucket start addresses, valid when sealed
+
+	// Pending additions since the last seal: starts of buckets created, and
+	// pre-existing buckets whose nested order went stale.
+	newStarts []uint64
+	dirty     []*bucket
+
+	sealed bool
+	gen    uint64 // bumped on every seal
 }
 
 func newIndex() *index {
@@ -44,33 +76,56 @@ func newIndex() *index {
 }
 
 func (ix *index) addWrite(w writeRec) {
-	if ix.sealed {
-		panic("pmc: addWrite after seal")
-	}
 	b := ix.buckets[w.addr]
 	if b == nil {
 		b = &bucket{start: w.addr}
 		ix.buckets[w.addr] = b
+		ix.newStarts = append(ix.newStarts, w.addr)
+	} else if b.sorted == len(b.writes) {
+		// First append into a previously sealed bucket: queue exactly one
+		// resort for the next seal.
+		ix.dirty = append(ix.dirty, b)
 	}
 	b.writes = append(b.writes, w)
+	ix.sealed = false
 }
 
-// seal freezes the index: sorts the outer address order and the nested
-// (length, instruction) order inside each bucket.
+// seal (re-)freezes the index. The first seal sorts everything; later seals
+// are incremental: they merge the new bucket starts into the existing
+// sorted outer order and re-sort only the buckets touched since the last
+// seal.
 func (ix *index) seal() {
-	ix.starts = make([]uint64, 0, len(ix.buckets))
-	for s, b := range ix.buckets {
-		ix.starts = append(ix.starts, s)
-		ws := b.writes
-		sort.SliceStable(ws, func(i, j int) bool {
-			if ws[i].size != ws[j].size {
-				return ws[i].size < ws[j].size
-			}
-			return ws[i].ins < ws[j].ins
-		})
+	for _, b := range ix.dirty {
+		b.resort()
 	}
-	sort.Slice(ix.starts, func(i, j int) bool { return ix.starts[i] < ix.starts[j] })
+	ix.dirty = ix.dirty[:0]
+	if len(ix.newStarts) > 0 {
+		sort.Slice(ix.newStarts, func(i, j int) bool { return ix.newStarts[i] < ix.newStarts[j] })
+		for _, s := range ix.newStarts {
+			ix.buckets[s].resort()
+		}
+		ix.starts = mergeSorted(ix.starts, ix.newStarts)
+		ix.newStarts = ix.newStarts[:0]
+	}
 	ix.sealed = true
+	ix.gen++
+}
+
+// mergeSorted merges two sorted, disjoint start lists into a fresh slice.
+func mergeSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // overlapping invokes fn for every write whose range overlaps [rAddr, rEnd).

@@ -1,0 +1,207 @@
+package pmc
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"snowboard/internal/trace"
+)
+
+// collectOverlapping drains an overlapping query into a slice, canonically
+// sorted for comparison.
+func collectOverlapping(ix *index, rAddr, rEnd uint64) []writeRec {
+	var out []writeRec
+	ix.overlapping(rAddr, rEnd, func(w writeRec) { out = append(out, w) })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.addr != b.addr {
+			return a.addr < b.addr
+		}
+		if a.size != b.size {
+			return a.size < b.size
+		}
+		if a.ins != b.ins {
+			return a.ins < b.ins
+		}
+		if a.val != b.val {
+			return a.val < b.val
+		}
+		return a.test < b.test
+	})
+	return out
+}
+
+// bruteOverlapping is the O(n) oracle: every write whose [addr, end) range
+// intersects [rAddr, rEnd).
+func bruteOverlapping(writes []writeRec, rAddr, rEnd uint64) []writeRec {
+	var out []writeRec
+	for _, w := range writes {
+		if w.addr < rEnd && rAddr < w.end() {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.addr != b.addr {
+			return a.addr < b.addr
+		}
+		if a.size != b.size {
+			return a.size < b.size
+		}
+		if a.ins != b.ins {
+			return a.ins < b.ins
+		}
+		if a.val != b.val {
+			return a.val < b.val
+		}
+		return a.test < b.test
+	})
+	return out
+}
+
+// TestIndexLowAddressUnderflowGuard exercises the scan-window lower bound
+// at addresses below maxAccessSize, where the naive rAddr-maxAccessSize+1
+// arithmetic would wrap around to 2^64-ε and skip every bucket. Reads at
+// addresses 0..maxAccessSize must still find writes starting at address 0.
+func TestIndexLowAddressUnderflowGuard(t *testing.T) {
+	ix := newIndex()
+	var writes []writeRec
+	for addr := uint64(0); addr <= 2*maxAccessSize; addr++ {
+		w := writeRec{addr: addr, val: addr + 1, ins: insW1, size: uint8(1 + addr%maxAccessSize), test: int32(addr)}
+		ix.addWrite(w)
+		writes = append(writes, w)
+	}
+	ix.seal()
+	for rAddr := uint64(0); rAddr <= 2*maxAccessSize; rAddr++ {
+		for size := uint64(1); size <= maxAccessSize; size++ {
+			rEnd := rAddr + size
+			got := collectOverlapping(ix, rAddr, rEnd)
+			want := bruteOverlapping(writes, rAddr, rEnd)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("read [%d,%d): got %d writes, want %d\ngot:  %v\nwant: %v",
+					rAddr, rEnd, len(got), len(want), got, want)
+			}
+		}
+	}
+}
+
+// TestIndexAdjacencyExcluded pins the half-open boundary: a write starting
+// exactly at the read's end address is adjacent, not overlapping, and a
+// write ending exactly at the read's start likewise.
+func TestIndexAdjacencyExcluded(t *testing.T) {
+	ix := newIndex()
+	ix.addWrite(writeRec{addr: 0x108, val: 1, ins: insW1, size: 4, test: 0}) // starts at rEnd
+	ix.addWrite(writeRec{addr: 0x0F8, val: 2, ins: insW1, size: 8, test: 1}) // ends at rAddr
+	ix.addWrite(writeRec{addr: 0x107, val: 3, ins: insW1, size: 1, test: 2}) // last byte of the read
+	ix.addWrite(writeRec{addr: 0x0F9, val: 4, ins: insW1, size: 8, test: 3}) // first byte of the read
+	ix.seal()
+	got := collectOverlapping(ix, 0x100, 0x108)
+	if len(got) != 2 || got[0].test != 3 || got[1].test != 2 {
+		t.Fatalf("read [0x100,0x108): got %v, want exactly the writes of tests 3 and 2", got)
+	}
+}
+
+// TestIndexStraddlingWritesCrossBuckets checks that an 8-byte write whose
+// range straddles into a read's bucket from below is found even though its
+// own start address lies in an earlier bucket — the reason the scan window
+// opens maxAccessSize-1 below the read.
+func TestIndexStraddlingWritesCrossBuckets(t *testing.T) {
+	ix := newIndex()
+	// Writes at every start in the window below the read; all 8 bytes long.
+	var writes []writeRec
+	for off := uint64(1); off <= maxAccessSize; off++ {
+		w := writeRec{addr: 0x200 - off, val: off, ins: insW1, size: 8, test: int32(off)}
+		ix.addWrite(w)
+		writes = append(writes, w)
+	}
+	ix.seal()
+	got := collectOverlapping(ix, 0x200, 0x201)
+	want := bruteOverlapping(writes, 0x200, 0x201)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("straddling scan: got %v, want %v", got, want)
+	}
+	// Every write except the one starting at 0x200-8 (which ends at 0x200)
+	// covers byte 0x200.
+	if len(got) != maxAccessSize-1 {
+		t.Fatalf("got %d straddling writes, want %d", len(got), maxAccessSize-1)
+	}
+}
+
+// TestIndexAppendAfterSealEqualsFreshBuild is the appendable-index
+// equivalence property: interleaving addWrite/seal in any grouping must
+// answer every overlap query exactly like a fresh index built from the
+// same writes in one pass — and generations must tick once per seal.
+func TestIndexAppendAfterSealEqualsFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(60)
+		writes := make([]writeRec, n)
+		for i := range writes {
+			writes[i] = writeRec{
+				addr: 0x100 + uint64(rng.Intn(40)),
+				val:  uint64(rng.Intn(8)),
+				ins:  insW1 + trace.Ins(rng.Intn(3)),
+				size: uint8(1 + rng.Intn(maxAccessSize)),
+				test: int32(rng.Intn(10)),
+			}
+		}
+
+		fresh := newIndex()
+		for _, w := range writes {
+			fresh.addWrite(w)
+		}
+		fresh.seal()
+
+		grown := newIndex()
+		seals := uint64(0)
+		for i := 0; i < n; {
+			chunk := 1 + rng.Intn(n-i)
+			for _, w := range writes[i : i+chunk] {
+				grown.addWrite(w)
+			}
+			grown.seal()
+			seals++
+			i += chunk
+		}
+		if grown.gen != seals {
+			t.Fatalf("trial %d: generation %d after %d seals", trial, grown.gen, seals)
+		}
+		if !sort.SliceIsSorted(grown.starts, func(i, j int) bool { return grown.starts[i] < grown.starts[j] }) {
+			t.Fatalf("trial %d: merged starts not sorted: %v", trial, grown.starts)
+		}
+		if grown.writeCount() != fresh.writeCount() {
+			t.Fatalf("trial %d: %d writes grown vs %d fresh", trial, grown.writeCount(), fresh.writeCount())
+		}
+
+		for q := 0; q < 30; q++ {
+			rAddr := 0x100 - maxAccessSize + uint64(rng.Intn(50))
+			rEnd := rAddr + uint64(1+rng.Intn(maxAccessSize))
+			got := collectOverlapping(grown, rAddr, rEnd)
+			want := collectOverlapping(fresh, rAddr, rEnd)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d read [%#x,%#x): grown index diverges from fresh build\ngot:  %v\nwant: %v",
+					trial, rAddr, rEnd, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexResealWithoutAdditionsIsCheap pins that sealing an unchanged
+// index still ticks the generation but keeps the bucket order intact.
+func TestIndexResealWithoutAdditions(t *testing.T) {
+	ix := newIndex()
+	ix.addWrite(writeRec{addr: 0x100, val: 1, ins: insW1, size: 4, test: 0})
+	ix.seal()
+	g := ix.gen
+	before := collectOverlapping(ix, 0x100, 0x104)
+	ix.seal()
+	if ix.gen != g+1 {
+		t.Fatalf("generation %d after reseal, want %d", ix.gen, g+1)
+	}
+	after := collectOverlapping(ix, 0x100, 0x104)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("reseal changed query results: %v vs %v", before, after)
+	}
+}

@@ -234,22 +234,31 @@ func identifyReader(idx *index, p *Profile, opt Options, set *Set) {
 		}
 		r := p.Accesses.At(ai)
 		idx.overlapping(r.Addr, r.End(), func(w writeRec) {
-			if !opt.AllowSelfPairs && int(w.test) == p.TestID {
-				return
-			}
-			wAcc := trace.Access{Ins: w.ins, Kind: trace.Write, Addr: w.addr, Size: w.size, Val: w.val}
-			lo, hi := r.OverlapRange(&wAcc)
-			if !opt.SkipValueFilter {
-				if r.ProjectVal(lo, hi) == wAcc.ProjectVal(lo, hi) {
-					return // the write would not change what the read sees
-				}
-			}
-			pmc := PMC{
-				Write:    Key{Ins: w.ins, Addr: w.addr, Size: w.size, Val: w.val},
-				Read:     Key{Ins: r.Ins, Addr: r.Addr, Size: r.Size, Val: r.Val},
-				DFLeader: p.DFLeader[ai],
-			}
-			set.Add(pmc, Pair{Writer: int(w.test), Reader: p.TestID})
+			classify(&r, w, p.DFLeader[ai], p.TestID, opt, set)
 		})
 	}
+}
+
+// classify applies Algorithm 1 lines 9–14 to one overlapping (read, write)
+// candidate: the self-pair filter, the projected-value inequality check,
+// and the Set insertion. It is shared between the batch path
+// (identifyReader) and the incremental path (readerView.scan), so the two
+// classify identically by construction.
+func classify(r *trace.Access, w writeRec, dfLeader bool, readerTest int, opt Options, set *Set) {
+	if !opt.AllowSelfPairs && int(w.test) == readerTest {
+		return
+	}
+	wAcc := trace.Access{Ins: w.ins, Kind: trace.Write, Addr: w.addr, Size: w.size, Val: w.val}
+	lo, hi := r.OverlapRange(&wAcc)
+	if !opt.SkipValueFilter {
+		if r.ProjectVal(lo, hi) == wAcc.ProjectVal(lo, hi) {
+			return // the write would not change what the read sees
+		}
+	}
+	pmc := PMC{
+		Write:    Key{Ins: w.ins, Addr: w.addr, Size: w.size, Val: w.val},
+		Read:     Key{Ins: r.Ins, Addr: r.Addr, Size: r.Size, Val: r.Val},
+		DFLeader: dfLeader,
+	}
+	set.Add(pmc, Pair{Writer: int(w.test), Reader: readerTest})
 }

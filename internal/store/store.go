@@ -67,6 +67,10 @@ const (
 	// KindSeries is an SBTS campaign time-series (obs.EncodeSeries), the
 	// coverage-over-time trajectory a resumed campaign appends to.
 	KindSeries
+	// KindPMCIndex is an SBPI incremental-identification snapshot
+	// (pmc.EncodeIncremental): the cumulative PMC set plus the write index
+	// and reader views needed to identify only new profiles on resume.
+	KindPMCIndex
 )
 
 // String names the kind for paths and diagnostics.
@@ -84,6 +88,8 @@ func (k Kind) String() string {
 		return "stage"
 	case KindSeries:
 		return "timeseries"
+	case KindPMCIndex:
+		return "pmcindex"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
