@@ -594,6 +594,55 @@ func BenchmarkEventLogOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkFeedbackVsUncommonFirst is the BENCH_feedback.json ablation: the
+// round-based segment-yield feedback scheduler against the one-shot
+// uncommon-first scheduler on a shared analysis at a fixed execution budget.
+// Under -short it drops to a smoke scale (the CI feedback job) that checks
+// the loop runs, composes tests, and reports rounds — not the yield gap.
+func BenchmarkFeedbackVsUncommonFirst(b *testing.B) {
+	tests, trials := 400, 24
+	if testing.Short() {
+		tests, trials = 40, 8
+	}
+	shared := analysisFor(b, snowboard.V5_12_RC3, 600, 150)
+	for _, feedback := range []bool{false, true} {
+		name := "uncommon-first"
+		if feedback {
+			name = "feedback"
+		}
+		b.Run(name, func(b *testing.B) {
+			issues, segments, composed := 0, 0, 0
+			for i := 0; i < b.N; i++ {
+				opts := shared.pipe.Opts
+				opts.Seed = int64(i) + 3
+				opts.TestBudget = tests
+				opts.Trials = trials
+				opts.Feedback = feedback
+				p := snowboard.NewPipeline(opts)
+				p.SetCorpus(shared.pipe.Corpus)
+				p.SetProfiles(shared.pipe.Profiles)
+				p.SetPMCs(shared.pipe.PMCs)
+				r := p.NewReport()
+				if feedback {
+					p.RunFeedback(r, opts.TestBudget)
+				} else {
+					cts := p.GenerateTests(r, opts.TestBudget)
+					p.ExecuteTests(r, cts)
+				}
+				issues += len(r.BugIDs())
+				segments += r.CoverSegments
+				composed += r.ComposedTests
+				if feedback && r.FeedbackRounds == 0 {
+					b.Fatal("feedback arm reported zero rounds")
+				}
+			}
+			b.ReportMetric(float64(issues)/float64(b.N), "issues/run")
+			b.ReportMetric(float64(segments)/float64(b.N), "segments/run")
+			b.ReportMetric(float64(composed)/float64(b.N), "composed/run")
+		})
+	}
+}
+
 // BenchmarkAblationClusterOrder isolates the uncommon-first ordering
 // contribution by comparing S-INS-PAIR against Random S-INS-PAIR on bug
 // yield (the paper's "Random S-INS-PAIR" row).

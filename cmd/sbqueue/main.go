@@ -247,12 +247,13 @@ func renderWatch(q *queue.Queue) string {
 		st.OldestLease.Truncate(time.Millisecond))
 	fmt.Fprintf(&b, "exec    %.1f tests/min  p50=%.2fms  p99=%.2fms  trials=%d  exercised=%d\n",
 		pr.ExecPerMin, pr.ExecP50Ms, pr.ExecP99Ms, pr.TrialsRun, pr.TestsExercised)
-	var pairs int64
+	var pairs, segments int64
 	if n := len(cov.Samples); n > 0 {
 		pairs = cov.Samples[n-1].CoverPairs
+		segments = cov.Samples[n-1].CoverSegments
 	}
-	fmt.Fprintf(&b, "cover   pairs=%d  +%.1f pairs/min  +%.1f edges/min  plateaued=%t\n",
-		pairs, cov.Rate.NewPairsPerMin, cov.Rate.NewEdgesPerMin, cov.Plateaued)
+	fmt.Fprintf(&b, "cover   pairs=%d  segs=%d  +%.1f pairs/min  +%.1f segs/min  +%.1f edges/min  plateaued=%t\n",
+		pairs, segments, cov.Rate.NewPairsPerMin, cov.Rate.NewSegmentsPerMin, cov.Rate.NewEdgesPerMin, cov.Plateaued)
 	fmt.Fprintf(&b, "issues  %d found  %d detect reports\n", pr.IssuesFound, pr.DetectReports)
 	evs := obs.Events.Since(0)
 	if n := len(evs); n > 6 {

@@ -7,8 +7,8 @@
 //
 //	snowboard [-mode full|compare] [-version 5.12-rc3] [-method S-INS-PAIR]
 //	          [-seed 1] [-fuzz 400] [-corpus 120] [-tests 60] [-trials 16]
-//	          [-workers 0] [-json] [-http :8080] [-progress 10s]
-//	          [-trace spans.jsonl] [-events events.jsonl] [-v]
+//	          [-feedback] [-rounds 4] [-workers 0] [-json] [-http :8080]
+//	          [-progress 10s] [-trace spans.jsonl] [-events events.jsonl] [-v]
 //
 // With -mode compare (or the legacy -compare flag), every generation
 // method of the paper's Table 3 runs on the same profiled corpus and one
@@ -46,6 +46,8 @@ func main() {
 		tests    = flag.Int("tests", 60, "concurrent tests to execute")
 		trials   = flag.Int("trials", 16, "interleaving trials per concurrent test")
 		workers  = flag.Int("workers", 0, "parallel worker goroutines per stage (0 = one per CPU); results are identical for any value")
+		feedback = flag.Bool("feedback", false, "close the loop: allocate the test budget in rounds across PMC clusters by recent interleaving-segment yield, composing independent PMCs and mutating segment-discovering schedules")
+		rounds   = flag.Int("rounds", 0, "budget-allocation rounds for -feedback (0 = default 4)")
 		stateDir = flag.String("state", "", "artifact store directory: persist every stage's output and resume from unchanged stages on re-run")
 		compare  = flag.Bool("compare", false, "legacy alias for -mode compare")
 		jsonOut  = flag.Bool("json", false, "emit the final report as JSON on stdout")
@@ -76,6 +78,8 @@ func main() {
 	opts.Trials = *trials
 	opts.Workers = *workers
 	opts.StateDir = *stateDir
+	opts.Feedback = *feedback
+	opts.FeedbackRounds = *rounds
 
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -207,7 +211,11 @@ func printReport(r *snowboard.Report, verbose bool) {
 		r.TestedTests, r.TrialsRun, r.Switches, r.ExecTime, r.ExecPerMin())
 	fmt.Printf("  PMC accuracy: %d/%d = %.0f%% of hinted tests exercised their channel\n",
 		r.Exercised, r.TestedPMCs, 100*r.Accuracy())
-	fmt.Printf("  concurrency coverage: %d alias instruction pairs\n", r.CoverPairs)
+	fmt.Printf("  concurrency coverage: %d alias instruction pairs, %d interleaving segments\n",
+		r.CoverPairs, r.CoverSegments)
+	if r.FeedbackRounds > 0 {
+		fmt.Printf("  feedback: %d rounds, %d composed tests\n", r.FeedbackRounds, r.ComposedTests)
+	}
 	ids := r.BugIDs()
 	fmt.Printf("  issues found: %v\n", ids)
 	if verbose {

@@ -180,7 +180,15 @@ func pmcLess(a, b pmc.PMC) bool {
 	if a.Write != b.Write {
 		return keyLess(a.Write, b.Write)
 	}
-	return keyLess(a.Read, b.Read)
+	if a.Read != b.Read {
+		return keyLess(a.Read, b.Read)
+	}
+	// DFLeader completes the order: entries are distinct map keys, so two
+	// PMCs agreeing on both access keys differ in it. Without this the
+	// comparator is not total and the unstable sort leaks map iteration
+	// order into the member list — and through Exemplar's rng.Intn draw,
+	// into which PMC each cluster tests.
+	return !a.DFLeader && b.DFLeader
 }
 
 func keyLess(a, b pmc.Key) bool {

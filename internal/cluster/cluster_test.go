@@ -225,3 +225,72 @@ func TestTable1StrategyCount(t *testing.T) {
 		t.Fatalf("Table 1 defines 8 strategies, have %d", len(Strategies))
 	}
 }
+
+// TestOrderClustersTieBreak pins the UncommonFirst tie-break: equal-weight
+// clusters sort by key, so the order is independent of the (map-random)
+// order Clusters happened to emit them in.
+func TestOrderClustersTieBreak(t *testing.T) {
+	mkC := func(key string, w int64) Cluster { return Cluster{Key: key, Weight: w} }
+	cs := []Cluster{mkC("zz", 2), mkC("aa", 2), mkC("mm", 1), mkC("bb", 2)}
+	OrderClusters(cs, UncommonFirst, nil)
+	wantKeys := []string{"mm", "aa", "bb", "zz"}
+	for i, k := range wantKeys {
+		if cs[i].Key != k {
+			t.Fatalf("position %d: got %q want %q (full: %+v)", i, cs[i].Key, k, cs)
+		}
+	}
+	// Idempotent: re-sorting an already-ordered slice changes nothing.
+	before := append([]Cluster(nil), cs...)
+	OrderClusters(cs, UncommonFirst, nil)
+	for i := range cs {
+		if cs[i].Key != before[i].Key {
+			t.Fatal("UncommonFirst is not stable on a sorted input")
+		}
+	}
+}
+
+// TestPMCLessTotalOrder pins the determinism fix: pmcLess must order two
+// PMCs that agree on both access keys but differ in DFLeader. Without that
+// the comparator is not total and sort.Slice (unstable) leaks map iteration
+// order into cluster member lists — and through Exemplar's rng draw, into
+// which PMC gets tested.
+func TestPMCLessTotalOrder(t *testing.T) {
+	plain := mk(insA, 0x100, 8, 1, insC, 0x100, 8, 0, false)
+	leader := mk(insA, 0x100, 8, 1, insC, 0x100, 8, 0, true)
+	if !pmcLess(plain, leader) {
+		t.Fatal("non-leader must order before leader")
+	}
+	if pmcLess(leader, plain) {
+		t.Fatal("order must be antisymmetric")
+	}
+	if pmcLess(plain, plain) || pmcLess(leader, leader) {
+		t.Fatal("order must be irreflexive")
+	}
+}
+
+// TestClustersMemberOrderDeterministic repeatedly clusters the same set —
+// whose entries differ only in DFLeader — and checks the member order never
+// varies with map iteration order.
+func TestClustersMemberOrderDeterministic(t *testing.T) {
+	s := setOf(
+		mk(insA, 0x100, 8, 1, insC, 0x100, 8, 0, true),
+		mk(insA, 0x100, 8, 1, insC, 0x100, 8, 0, false),
+		mk(insA, 0x100, 8, 2, insC, 0x100, 8, 0, false),
+	)
+	var want []pmc.PMC
+	for i := 0; i < 50; i++ {
+		cs := Clusters(s, SCh)
+		if len(cs) != 1 {
+			t.Fatalf("clusters: %d, want 1", len(cs))
+		}
+		if want == nil {
+			want = append([]pmc.PMC(nil), cs[0].PMCs...)
+			continue
+		}
+		for j := range want {
+			if cs[0].PMCs[j] != want[j] {
+				t.Fatalf("iteration %d: member %d is %+v, want %+v", i, j, cs[0].PMCs[j], want[j])
+			}
+		}
+	}
+}

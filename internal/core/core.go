@@ -85,6 +85,18 @@ type Options struct {
 	// DisableIncidental forwards to the explorer (ablation).
 	DisableIncidental bool
 
+	// Feedback closes the loop (stage 3+4 interleaved): instead of one
+	// GenerateTests pass over the uncommon-first ranking, the test budget
+	// is spent in rounds, each allocating tests across PMC clusters
+	// proportional to their recent interleaving-segment yield
+	// (multi-armed-bandit style, seeded-deterministic), composing
+	// independent PMCs into shared tests, and mutating schedules that
+	// discovered new segments. Only meaningful for MethodPMC.
+	Feedback bool
+	// FeedbackRounds is the number of budget-allocation rounds a feedback
+	// run splits TestBudget into (0 = default 4).
+	FeedbackRounds int
+
 	// Workers is the goroutine fan-out for every stage: fuzzing batches,
 	// per-test profiling, reader-sharded PMC identification, and
 	// concurrent-test exploration. 0 means one worker per CPU
@@ -167,8 +179,13 @@ type Report struct {
 	Switches       int
 	Steps          int
 	CoverPairs     int // distinct alias instruction pairs covered (Krace metric)
+	CoverSegments  int // distinct interleaving segments covered (2-grams of communications)
 	ExecTime       time.Duration
 	GeneratedTests int // tests generated (can exceed executed when deduplicated)
+
+	// Feedback-loop counters (zero unless Options.Feedback).
+	FeedbackRounds int `json:",omitempty"` // budget-allocation rounds executed
+	ComposedTests  int `json:",omitempty"` // tests carrying coalesced extra PMC hints
 
 	// Findings.
 	Issues  map[int]IssueRecord // Table 2 bug id -> first-discovery record

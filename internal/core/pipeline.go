@@ -24,9 +24,10 @@ import (
 // histogram per stage, e.g. "stage.profile.duration_ns"); the hand-rolled
 // time.Since fields on Report are views over those span measurements.
 var (
-	mGenTests    = obs.C(obs.MGenTests)
-	mIssuesFound = obs.G(obs.MIssuesFound)
-	mCoverPairs  = obs.G(obs.MCoverPairs)
+	mGenTests      = obs.C(obs.MGenTests)
+	mIssuesFound   = obs.G(obs.MIssuesFound)
+	mCoverPairs    = obs.G(obs.MCoverPairs)
+	mCoverSegments = obs.G(obs.MCoverSegments)
 )
 
 // Pipeline holds the state flowing between the four stages so that callers
@@ -55,6 +56,12 @@ type Pipeline struct {
 	// fresh — but deterministic — seeds, like the old shared rng did.
 	genCalls     int
 	exploreUnits int
+
+	// segs accumulates interleaving-segment coverage across every
+	// ExecuteTests call of this pipeline. Per-test outcomes are folded in
+	// test order, so its contents — and the per-test fresh-segment yields
+	// the feedback scheduler allocates budget by — are worker-invariant.
+	segs *cover.Segments
 
 	// store, when attached with UseStore, memoizes stages through the
 	// content-addressed artifact store; the digests track the content
@@ -314,11 +321,29 @@ func (p *Pipeline) GenerateTests(r *Report, budget int) []sched.ConcurrentTest {
 	return out
 }
 
+// segments returns the pipeline-cumulative segment accumulator, creating
+// it on first use (RunFeedback replaces it when resuming round state).
+func (p *Pipeline) segments() *cover.Segments {
+	if p.segs == nil {
+		p.segs = cover.NewSegments()
+	}
+	return p.segs
+}
+
 // ExecuteTests explores each concurrent test (stage 4) across a fleet of
 // per-worker explorers, folding findings into the report in test order —
 // the fold is byte-for-byte the serial one, because each test's outcome is
 // a pure function of (test, derived seed).
 func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
+	p.executeTests(r, tests)
+}
+
+// executeTests is ExecuteTests, additionally returning each test's
+// fresh-segment yield against the pipeline-cumulative segment accumulator.
+// Yields are computed in the sequential test-order fold — a pure function
+// of test order, independent of worker placement — which is what the
+// feedback scheduler allocates the next round's budget by.
+func (p *Pipeline) executeTests(r *Report, tests []sched.ConcurrentTest) []int {
 	span := obs.StartSpan("stage.exec", obs.A("tests", len(tests)), obs.A("trials", p.Opts.Trials),
 		obs.A("workers", p.workers()))
 	cov := cover.New()
@@ -329,6 +354,8 @@ func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
 		KnownPMCs:         p.PMCs,
 		DisableIncidental: p.Opts.DisableIncidental,
 		Coverage:          cov,
+		TrackSegments:     true,
+		MutateSchedules:   p.Opts.Feedback,
 	}
 	fleet := sched.NewFleet(template, p.workerEnvs(p.workers()),
 		func(e *exec.Env) []string { return e.K.FsckHost() })
@@ -342,8 +369,13 @@ func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
 		unknownSeen[u.ID()] = struct{}{}
 	}
 	outs := fleet.ExploreAll(tests, seeds)
+	yields := make([]int, len(outs))
+	segs := p.segments()
 	for i, out := range outs {
 		ct := tests[i]
+		if out.Segments != nil {
+			yields[i] = segs.Merge(out.Segments)
+		}
 		r.TestedTests++
 		if ct.Hint != nil {
 			r.TestedPMCs++
@@ -385,10 +417,13 @@ func (p *Pipeline) ExecuteTests(r *Report, tests []sched.ConcurrentTest) {
 		mIssuesFound.Set(int64(len(r.Issues)))
 	}
 	r.CoverPairs += cov.Len()
+	r.CoverSegments = segs.Len()
 	mCoverPairs.Set(int64(r.CoverPairs))
-	d := span.End(obs.A("issues", len(r.Issues)))
+	mCoverSegments.Set(int64(r.CoverSegments))
+	d := span.End(obs.A("issues", len(r.Issues)), obs.A("segments", r.CoverSegments))
 	r.ExecTime += d
 	p.stageDone("exec", false, d)
+	return yields
 }
 
 // crashLevel reports whether the issue kind wedges or corrupts the kernel.
@@ -428,8 +463,12 @@ func Run(opts Options) (*Report, error) {
 		}
 		mStoreMisses.Inc()
 	}
-	tests := p.GenerateTests(r, opts.TestBudget)
-	p.ExecuteTests(r, tests)
+	if opts.Feedback {
+		p.RunFeedback(r, opts.TestBudget)
+	} else {
+		tests := p.GenerateTests(r, opts.TestBudget)
+		p.ExecuteTests(r, tests)
+	}
 	r.CaptureMetrics()
 	if p.store != nil {
 		p.saveReportStage(r, opts.TestBudget)

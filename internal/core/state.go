@@ -108,7 +108,22 @@ func (p *Pipeline) reportKey(corpusDigest, pmcDigest store.Digest, budget int) s
 		fmt.Sprintf("trials=%d", p.Opts.Trials),
 		fmt.Sprintf("detect=%t/%t/%t/%d", d.Console, d.Races, d.TornReads, d.RaceMode),
 		fmt.Sprintf("no-incidental=%t", p.Opts.DisableIncidental),
+		// Resolved feedback parameters: a feedback run and a one-shot run
+		// spend the same budget through different schedulers, so their
+		// reports must never share a key. Non-feedback runs pin rounds=0
+		// regardless of FeedbackRounds.
+		fmt.Sprintf("feedback=%t/%d", p.Opts.Feedback, p.resolvedFeedbackRounds()),
 	)
+}
+
+// resolvedFeedbackRounds is the round count that actually shapes the run:
+// 0 when feedback is off, the resolved default otherwise — so
+// FeedbackRounds 0 and 4 (the default) map to one artifact key.
+func (p *Pipeline) resolvedFeedbackRounds() int {
+	if !p.Opts.Feedback {
+		return 0
+	}
+	return p.feedbackRounds()
 }
 
 // seriesKey identifies the campaign time-series artifact. Deliberately

@@ -30,9 +30,14 @@ func (p Pair) String() string {
 
 // Coverage accumulates alias instruction pairs across trials. It is safe
 // for concurrent use so distributed workers can share one accumulator.
+// It implements Metric.
 type Coverage struct {
 	mu    sync.Mutex
 	pairs map[Pair]int
+	// Scratch maps reused across AddTrace calls; the access hot path
+	// (PR 5) made per-trial allocation the dominant cost here.
+	scratchLast  map[uint64]lastAccess
+	scratchLocal map[Pair]bool
 }
 
 // New returns an empty accumulator.
@@ -45,14 +50,17 @@ func New() *Coverage {
 // threads (at least one being a write — read/read orderings carry no
 // communication) contribute their instruction pair.
 func (c *Coverage) AddTrace(tr *trace.Trace) int {
-	// lastByByte tracks the most recent access per byte.
-	type lastAccess struct {
-		ins    trace.Ins
-		thread int
-		write  bool
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	last := clearLast(c.scratchLast)
+	c.scratchLast = last
+	local := c.scratchLocal
+	if local == nil {
+		local = make(map[Pair]bool)
+		c.scratchLocal = local
+	} else {
+		clear(local)
 	}
-	last := make(map[uint64]lastAccess)
-	local := make(map[Pair]bool)
 	for i, n := 0, tr.Len(); i < n; i++ {
 		if tr.StackAt(i) || tr.AtomicAt(i) {
 			continue
@@ -65,8 +73,6 @@ func (c *Coverage) AddTrace(tr *trace.Trace) int {
 			last[b] = lastAccess{ins: ins, thread: thread, write: isWrite}
 		}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	fresh := 0
 	for p := range local {
 		if c.pairs[p] == 0 {
@@ -78,16 +84,18 @@ func (c *Coverage) AddTrace(tr *trace.Trace) int {
 }
 
 // Merge folds other's accumulated pairs into c (counts add) and returns
-// how many pairs were new to c. Per-worker accumulators merged in a fixed
+// how many pairs were new to c. Per-worker accumulators merged in any
 // order yield the same totals as one shared accumulator. other is not
-// modified; merging an accumulator into itself is not supported.
-func (c *Coverage) Merge(other *Coverage) int {
-	other.mu.Lock()
-	defer other.mu.Unlock()
+// modified; merging an accumulator into itself is not supported. other
+// must be a *Coverage.
+func (c *Coverage) Merge(other Metric) int {
+	o := other.(*Coverage)
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fresh := 0
-	for p, n := range other.pairs {
+	for p, n := range o.pairs {
 		if c.pairs[p] == 0 {
 			fresh++
 		}

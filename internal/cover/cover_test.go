@@ -140,3 +140,225 @@ func TestPartialOverlapCovered(t *testing.T) {
 		t.Fatalf("partial overlap not covered: %d", fresh)
 	}
 }
+
+// --- Metric interface and allocation guards ---
+
+// Both accumulators implement Metric; the pipeline and fuzz loop depend on
+// swapping them behind the interface.
+var (
+	_ Metric = (*Coverage)(nil)
+	_ Metric = (*Segments)(nil)
+)
+
+// TestAddTraceSteadyStateAllocs pins the satellite fix for per-trial alloc
+// churn: once the scratch maps are warm, folding a trace whose pairs and
+// segments are already covered must not allocate at all.
+func TestAddTraceSteadyStateAllocs(t *testing.T) {
+	tr := trOf(
+		tAcc(0, trace.Write, cvW, 0x100),
+		tAcc(1, trace.Read, cvR, 0x100),
+		tAcc(0, trace.Write, cvX, 0x200),
+		tAcc(1, trace.Read, cvR, 0x200),
+	)
+	c := New()
+	c.AddTrace(tr) // warm scratch + cover the pairs
+	if n := testing.AllocsPerRun(50, func() { c.AddTrace(tr) }); n != 0 {
+		t.Fatalf("Coverage.AddTrace steady state allocates %.1f/op, want 0", n)
+	}
+	s := NewSegments()
+	s.AddTrace(tr)
+	if n := testing.AllocsPerRun(50, func() { s.AddTrace(tr) }); n != 0 {
+		t.Fatalf("Segments.AddTrace steady state allocates %.1f/op, want 0", n)
+	}
+}
+
+// BenchmarkCoverageAddTrace is the allocs/op record behind the steady-state
+// guard above (run with -benchmem).
+func BenchmarkCoverageAddTrace(b *testing.B) {
+	tr := trOf(
+		tAcc(0, trace.Write, cvW, 0x100),
+		tAcc(1, trace.Read, cvR, 0x100),
+		tAcc(0, trace.Write, cvX, 0x200),
+		tAcc(1, trace.Read, cvR, 0x200),
+	)
+	c := New()
+	c.AddTrace(tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.AddTrace(tr)
+	}
+}
+
+// --- Segment metric golden tests (hand-built traces) ---
+
+var (
+	segAW = trace.DefIns("segsubA:store")
+	segBR = trace.DefIns("segsubB:load")
+	segCW = trace.DefIns("segsubC:store")
+	segDR = trace.DefIns("segsubD:load")
+	segA2 = trace.DefIns("segsubA:store2") // same region as segAW
+	segB2 = trace.DefIns("segsubB:load2")  // same region as segBR
+)
+
+func comm(w, r trace.Ins) Comm {
+	return Comm{Write: trace.RegionOf(w), Read: trace.RegionOf(r)}
+}
+
+func TestSegmentGoldenTwoComms(t *testing.T) {
+	s := NewSegments()
+	fresh := s.AddTrace(trOf(
+		tAcc(0, trace.Write, segAW, 0x100),
+		tAcc(1, trace.Read, segBR, 0x100), // comm 1: A=>B
+		tAcc(0, trace.Write, segCW, 0x200),
+		tAcc(1, trace.Read, segDR, 0x200), // comm 2: C=>D
+	))
+	if fresh != 1 || s.Len() != 1 {
+		t.Fatalf("fresh=%d len=%d, want 1/1", fresh, s.Len())
+	}
+	want := Segment{First: comm(segAW, segBR), Second: comm(segCW, segDR)}
+	if s.Count(want) != 1 {
+		t.Fatalf("golden segment %s not covered", want)
+	}
+}
+
+func TestSegmentCollapsesConsecutiveDuplicates(t *testing.T) {
+	// Two back-to-back communications that abstract to the same region pair
+	// (A=>B) collapse into one; no self-segment [A=>B ; A=>B] may appear.
+	s := NewSegments()
+	fresh := s.AddTrace(trOf(
+		tAcc(0, trace.Write, segAW, 0x100),
+		tAcc(1, trace.Read, segBR, 0x100), // comm: A=>B
+		tAcc(0, trace.Write, segA2, 0x200),
+		tAcc(1, trace.Read, segB2, 0x200), // comm: A=>B again — collapsed
+		tAcc(0, trace.Write, segCW, 0x300),
+		tAcc(1, trace.Read, segDR, 0x300), // comm: C=>D
+	))
+	ab := comm(segAW, segBR)
+	if got := s.Count(Segment{First: ab, Second: ab}); got != 0 {
+		t.Fatalf("self-segment covered %d times, want 0", got)
+	}
+	want := Segment{First: ab, Second: comm(segCW, segDR)}
+	if fresh != 1 || s.Count(want) != 1 {
+		t.Fatalf("fresh=%d count(%s)=%d, want 1/1", fresh, want, s.Count(want))
+	}
+}
+
+func TestSegmentSingleCommNoSegment(t *testing.T) {
+	// One communication is a 1-gram; the metric only counts 2-grams.
+	s := NewSegments()
+	if fresh := s.AddTrace(trOf(
+		tAcc(0, trace.Write, segAW, 0x100),
+		tAcc(1, trace.Read, segBR, 0x100),
+	)); fresh != 0 || s.Len() != 0 {
+		t.Fatalf("single comm produced segments: fresh=%d len=%d", fresh, s.Len())
+	}
+}
+
+func TestSegmentOrderDistinguished(t *testing.T) {
+	// [A=>B ; C=>D] and [C=>D ; A=>B] are distinct segments: the metric
+	// exists to capture orderings *between* communications.
+	forward := trOf(
+		tAcc(0, trace.Write, segAW, 0x100),
+		tAcc(1, trace.Read, segBR, 0x100),
+		tAcc(0, trace.Write, segCW, 0x200),
+		tAcc(1, trace.Read, segDR, 0x200),
+	)
+	backward := trOf(
+		tAcc(0, trace.Write, segCW, 0x200),
+		tAcc(1, trace.Read, segDR, 0x200),
+		tAcc(0, trace.Write, segAW, 0x100),
+		tAcc(1, trace.Read, segBR, 0x100),
+	)
+	s := NewSegments()
+	if fresh := s.AddTrace(forward); fresh != 1 {
+		t.Fatalf("forward fresh=%d", fresh)
+	}
+	if fresh := s.AddTrace(backward); fresh != 1 {
+		t.Fatalf("reversed ordering not counted as a new segment: fresh=%d", fresh)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len=%d, want 2", s.Len())
+	}
+}
+
+func TestSegmentsMergeCommutative(t *testing.T) {
+	// Merging per-worker accumulators in any order must yield the same
+	// covered set and counts — the Metric contract the parallel fold needs.
+	traces := []*trace.Trace{
+		trOf(
+			tAcc(0, trace.Write, segAW, 0x100),
+			tAcc(1, trace.Read, segBR, 0x100),
+			tAcc(0, trace.Write, segCW, 0x200),
+			tAcc(1, trace.Read, segDR, 0x200),
+		),
+		trOf(
+			tAcc(0, trace.Write, segCW, 0x200),
+			tAcc(1, trace.Read, segDR, 0x200),
+			tAcc(0, trace.Write, segAW, 0x100),
+			tAcc(1, trace.Read, segBR, 0x100),
+		),
+		trOf(
+			tAcc(0, trace.Write, segAW, 0x300),
+			tAcc(1, trace.Read, segDR, 0x300),
+			tAcc(0, trace.Write, segCW, 0x400),
+			tAcc(1, trace.Read, segBR, 0x400),
+		),
+	}
+	build := func(order []int) *Segments {
+		parts := make([]*Segments, len(traces))
+		for i, tr := range traces {
+			parts[i] = NewSegments()
+			parts[i].AddTrace(tr)
+		}
+		total := NewSegments()
+		for _, i := range order {
+			total.Merge(parts[i])
+		}
+		return total
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	ea, eb := a.Export(), b.Export()
+	if len(ea) != len(eb) {
+		t.Fatalf("merge order changed distinct set: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	// Shared-accumulator equivalence: one accumulator fed all traces.
+	shared := NewSegments()
+	for _, tr := range traces {
+		shared.AddTrace(tr)
+	}
+	if shared.Len() != a.Len() {
+		t.Fatalf("merged len %d != shared len %d", a.Len(), shared.Len())
+	}
+}
+
+func TestSegmentsExportImportRoundTrip(t *testing.T) {
+	s := NewSegments()
+	s.AddTrace(trOf(
+		tAcc(0, trace.Write, segAW, 0x100),
+		tAcc(1, trace.Read, segBR, 0x100),
+		tAcc(0, trace.Write, segCW, 0x200),
+		tAcc(1, trace.Read, segDR, 0x200),
+	))
+	s.AddTrace(trOf(
+		tAcc(0, trace.Write, segAW, 0x100),
+		tAcc(1, trace.Read, segBR, 0x100),
+		tAcc(0, trace.Write, segCW, 0x200),
+		tAcc(1, trace.Read, segDR, 0x200),
+	))
+	got := ImportSegments(s.Export()).Export()
+	want := s.Export()
+	if len(got) != len(want) {
+		t.Fatalf("round trip changed entry count: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d differs after round trip: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

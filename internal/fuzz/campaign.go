@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"snowboard/internal/corpus"
+	"snowboard/internal/cover"
 	"snowboard/internal/exec"
 	"snowboard/internal/obs"
 	"snowboard/internal/par"
@@ -71,13 +72,13 @@ type RoundFunc func(round int, admitted []*corpus.Prog)
 // round when the corpus cap fills mid-fold — so it sees every admitted
 // program exactly once.
 func CampaignShardedFunc(envs []*exec.Env, seed int64, budget, maxKeep int, fn RoundFunc) CampaignResult {
-	cov := NewCoverage()
+	cov := cover.NewEdges()
 	out := CampaignResult{Corpus: corpus.NewCorpus()}
 	traces := make([]trace.Trace, len(envs))
 
 	type unit struct {
 		prog    *corpus.Prog
-		edges   map[[2]trace.Ins]bool
+		edges   *cover.Edges
 		crashed bool
 	}
 	round := 0
@@ -109,7 +110,9 @@ func CampaignShardedFunc(envs []*exec.Env, seed int64, budget, maxKeep int, fn R
 				// sequential bugs).
 				return unit{prog: p, crashed: true}
 			}
-			return unit{prog: p, edges: EdgesOf(tr)}
+			e := cover.NewEdges()
+			e.AddTrace(tr)
+			return unit{prog: p, edges: e}
 		})
 		full := false
 		var admitted []*corpus.Prog

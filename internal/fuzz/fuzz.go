@@ -11,7 +11,6 @@ import (
 
 	"snowboard/internal/corpus"
 	"snowboard/internal/kernel"
-	"snowboard/internal/trace"
 )
 
 // Generator produces random, structurally valid programs.
@@ -246,43 +245,6 @@ func (g *Generator) mutateOnce(p *corpus.Prog) *corpus.Prog {
 	return q
 }
 
-// Coverage is an edge-coverage accumulator over instruction IDs: an edge is
-// a pair of consecutively executed access sites, the metric Syzkaller
-// exports and Snowboard selects tests by.
-type Coverage struct {
-	edges map[[2]trace.Ins]bool
-}
-
-// NewCoverage returns an empty accumulator.
-func NewCoverage() *Coverage {
-	return &Coverage{edges: make(map[[2]trace.Ins]bool)}
-}
-
-// EdgesOf extracts the edge set of one trace.
-func EdgesOf(tr *trace.Trace) map[[2]trace.Ins]bool {
-	out := make(map[[2]trace.Ins]bool)
-	var prev trace.Ins
-	for i, n := 0, tr.Len(); i < n; i++ {
-		cur := tr.InsAt(i)
-		if i > 0 {
-			out[[2]trace.Ins{prev, cur}] = true
-		}
-		prev = cur
-	}
-	return out
-}
-
-// Merge folds the edge set in, reporting how many edges were new.
-func (c *Coverage) Merge(edges map[[2]trace.Ins]bool) int {
-	n := 0
-	for e := range edges {
-		if !c.edges[e] {
-			c.edges[e] = true
-			n++
-		}
-	}
-	return n
-}
-
-// Len reports the accumulated edge count.
-func (c *Coverage) Len() int { return len(c.edges) }
+// The edge-coverage accumulator the fuzz loop selects tests by lives in
+// internal/cover (cover.Edges) behind the cover.Metric interface, shared
+// with the concurrency metrics.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"snowboard/internal/corpus"
+	"snowboard/internal/cover"
 	"snowboard/internal/exec"
 	"snowboard/internal/kernel"
 	"snowboard/internal/trace"
@@ -88,15 +89,15 @@ func TestCoverageMerge(t *testing.T) {
 	tr.Append(trace.Access{Ins: i2})
 	tr.Append(trace.Access{Ins: i1})
 
-	edges := EdgesOf(&tr)
-	if len(edges) != 2 { // a->b, b->a
-		t.Fatalf("edges: %v", edges)
+	unit := cover.NewEdges()
+	if n := unit.AddTrace(&tr); n != 2 { // a->b, b->a
+		t.Fatalf("edges: %d", n)
 	}
-	cov := NewCoverage()
-	if n := cov.Merge(edges); n != 2 {
+	cov := cover.NewEdges()
+	if n := cov.Merge(unit); n != 2 {
 		t.Fatalf("first merge added %d", n)
 	}
-	if n := cov.Merge(edges); n != 0 {
+	if n := cov.Merge(unit); n != 0 {
 		t.Fatalf("second merge added %d", n)
 	}
 	if cov.Len() != 2 {

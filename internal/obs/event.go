@@ -34,7 +34,8 @@ const (
 	EvPMCIdentified  = "pmc.identified"   // Algorithm 1 finished (attrs: keys, combinations)
 	EvPMCIncremental = "pmc.incremental"  // one profile batch ingested incrementally (attrs: batch, profiles, delta, keys)
 	EvPMCTested      = "pmc.tested"       // one concurrent test explored (attrs: hinted, exercised, trials)
-	EvCoverNew       = "cover.new"        // coverage grew (attrs: edges or pairs delta)
+	EvCoverNew       = "cover.new"        // coverage grew (attrs: edges, pairs, or segments delta)
+	EvFeedbackRound  = "feedback.round"   // one feedback round completed (attrs: round, tests, segments, issues)
 	EvRaceFound      = "race.found"       // a crash-level oracle finding surfaced
 	EvExecCrash      = "exec.crash"       // a VM execution crashed the simulated kernel
 	EvJobLeased      = "job.leased"       // queue: job delivered under a lease

@@ -60,6 +60,8 @@ type Progress struct {
 	TestsExercised int64   `json:"tests_exercised"`
 	TrialsRun      int64   `json:"trials_run"`
 	Switches       int64   `json:"switches"`
+	CoverPairs     int64   `json:"cover_pairs"`
+	CoverSegments  int64   `json:"cover_segments"`
 	IssuesFound    int64   `json:"issues_found"`
 	DetectReports  int64   `json:"detect_reports"`
 	QueueDepth     int64   `json:"queue_depth"`
@@ -83,6 +85,8 @@ func ProgressFrom(s Snapshot) Progress {
 		TestsExercised: s.Counter(MSchedChannelHit),
 		TrialsRun:      s.Counter(MSchedTrials),
 		Switches:       s.Counter(MSchedSwitches),
+		CoverPairs:     s.Gauge(MCoverPairs),
+		CoverSegments:  s.Gauge(MCoverSegments),
 		IssuesFound:    s.Gauge(MIssuesFound),
 		DetectReports:  s.Counter(MDetectReports),
 		QueueDepth:     s.Gauge(MQueueDepth),

@@ -73,9 +73,16 @@ const (
 	MDetectHarmful = "detect.harmful"      // counter: harmful findings
 	MIssuesFound   = "detect.issues_found" // gauge: distinct issues in the current run's report
 
-	// Concurrency coverage (internal/cover via core): published as a gauge
-	// so the time-series sampler can track it without importing cover.
-	MCoverPairs = "cover.pairs" // gauge: distinct alias instruction pairs covered
+	// Concurrency coverage (internal/cover via core): published as gauges
+	// so the time-series sampler can track them without importing cover.
+	MCoverPairs    = "cover.pairs"    // gauge: distinct alias instruction pairs covered
+	MCoverSegments = "cover.segments" // gauge: distinct interleaving segments covered
+
+	// Feedback loop (core.RunFeedback). Per-cluster budget counters are
+	// named MGenBudgetPrefix + a short stable cluster label; cardinality is
+	// bounded by the cluster count of the chosen strategy.
+	MGenBudgetPrefix = "gen.budget." // counter: tests allocated to one PMC cluster
+	MFeedbackRounds  = "gen.rounds"  // counter: feedback rounds completed
 
 	// Content-addressed artifact store (internal/store) and stage-graph
 	// memoization (internal/core).

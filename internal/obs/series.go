@@ -30,15 +30,18 @@ type Sample struct {
 	TestsExecuted int64 `json:"tests_executed"`
 	TrialsRun     int64 `json:"trials_run"`
 	CoverPairs    int64 `json:"cover_pairs"`
+	CoverSegments int64 `json:"cover_segments"`
 	Issues        int64 `json:"issues"`
 	DeadLetters   int64 `json:"dead_letters"`
 }
 
 // sampleFields enumerates a sample's non-time fields in codec order.
-func (s *Sample) fields() [10]*int64 {
-	return [10]*int64{
+// CoverSegments sits last so a version-1 payload is a strict prefix.
+func (s *Sample) fields() [11]*int64 {
+	return [11]*int64{
 		&s.FuzzExecs, &s.CorpusSize, &s.Edges, &s.ProfiledTests, &s.PMCs,
 		&s.TestsExecuted, &s.TrialsRun, &s.CoverPairs, &s.Issues, &s.DeadLetters,
+		&s.CoverSegments,
 	}
 }
 
@@ -54,6 +57,7 @@ func SampleFrom(s Snapshot) Sample {
 		TestsExecuted: s.Counter(MExecTests),
 		TrialsRun:     s.Counter(MSchedTrials),
 		CoverPairs:    s.Gauge(MCoverPairs),
+		CoverSegments: s.Gauge(MCoverSegments),
 		Issues:        s.Gauge(MIssuesFound),
 		DeadLetters:   s.Counter(MQueueDeadLetter),
 	}
@@ -85,6 +89,7 @@ func RestoreCounters(last Sample) {
 	counter(MExecTests, last.TestsExecuted)
 	counter(MSchedTrials, last.TrialsRun)
 	gauge(MCoverPairs, last.CoverPairs)
+	gauge(MCoverSegments, last.CoverSegments)
 	gauge(MIssuesFound, last.Issues)
 	counter(MQueueDeadLetter, last.DeadLetters)
 }
@@ -184,11 +189,12 @@ func (s *Series) Len() int {
 
 // Rate is the campaign's growth rates over a trailing window.
 type Rate struct {
-	WindowSec      float64 `json:"window_sec"`
-	ExecPerMin     float64 `json:"exec_per_min"`      // concurrent tests per minute
-	TrialsPerMin   float64 `json:"trials_per_min"`    // interleaving trials per minute
-	NewPairsPerMin float64 `json:"new_pairs_per_min"` // fresh alias instruction pairs per minute
-	NewEdgesPerMin float64 `json:"new_edges_per_min"` // fresh sequential coverage edges per minute
+	WindowSec         float64 `json:"window_sec"`
+	ExecPerMin        float64 `json:"exec_per_min"`         // concurrent tests per minute
+	TrialsPerMin      float64 `json:"trials_per_min"`       // interleaving trials per minute
+	NewPairsPerMin    float64 `json:"new_pairs_per_min"`    // fresh alias instruction pairs per minute
+	NewEdgesPerMin    float64 `json:"new_edges_per_min"`    // fresh sequential coverage edges per minute
+	NewSegmentsPerMin float64 `json:"new_segments_per_min"` // fresh interleaving segments per minute
 }
 
 // Rate computes growth rates over the trailing window (the whole series
@@ -215,11 +221,12 @@ func (s *Series) Rate(window time.Duration) Rate {
 	}
 	perMin := func(d int64) float64 { return float64(d) / dt.Minutes() }
 	return Rate{
-		WindowSec:      dt.Seconds(),
-		ExecPerMin:     perMin(last.TestsExecuted - first.TestsExecuted),
-		TrialsPerMin:   perMin(last.TrialsRun - first.TrialsRun),
-		NewPairsPerMin: perMin(last.CoverPairs - first.CoverPairs),
-		NewEdgesPerMin: perMin(last.Edges - first.Edges),
+		WindowSec:         dt.Seconds(),
+		ExecPerMin:        perMin(last.TestsExecuted - first.TestsExecuted),
+		TrialsPerMin:      perMin(last.TrialsRun - first.TrialsRun),
+		NewPairsPerMin:    perMin(last.CoverPairs - first.CoverPairs),
+		NewEdgesPerMin:    perMin(last.Edges - first.Edges),
+		NewSegmentsPerMin: perMin(last.CoverSegments - first.CoverSegments),
 	}
 }
 
@@ -284,14 +291,20 @@ func StartSampler(interval time.Duration) (stop func()) {
 //
 //	"SBTS" | version u8 | count uvarint | count x sample
 //
-// where each sample is 11 signed varints: the timestamp delta-encoded
-// against the previous sample (absolute for the first), then the ten
-// counter fields. The store wraps the payload in its checksummed SBAR
-// envelope, so the codec itself carries no checksum; truncated or
-// oversized input fails loudly instead of panicking.
+// where each sample is 12 signed varints: the timestamp delta-encoded
+// against the previous sample (absolute for the first), then the eleven
+// counter fields. Version 1 payloads (ten counter fields, before
+// CoverSegments) still decode — the field order makes them a strict
+// prefix — so a feedback campaign can resume a pre-segment state dir.
+// The store wraps the payload in its checksummed SBAR envelope, so the
+// codec itself carries no checksum; truncated or oversized input fails
+// loudly instead of panicking.
 
 // SeriesCodecVersion versions the SBTS encoding.
-const SeriesCodecVersion = 1
+const SeriesCodecVersion = 2
+
+// seriesV1Fields is how many counter fields a version-1 sample carries.
+const seriesV1Fields = 10
 
 // seriesMagic is the SBTS payload magic.
 const seriesMagic = "SBTS"
@@ -331,8 +344,9 @@ func DecodeSeries(r io.Reader) ([]Sample, error) {
 	if len(data) < len(seriesMagic)+1 || string(data[:len(seriesMagic)]) != seriesMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrSeriesCorrupt)
 	}
-	if v := data[len(seriesMagic)]; v != SeriesCodecVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrSeriesCorrupt, v)
+	version := data[len(seriesMagic)]
+	if version != 1 && version != SeriesCodecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSeriesCorrupt, version)
 	}
 	data = data[len(seriesMagic)+1:]
 	count, n := binary.Uvarint(data)
@@ -365,7 +379,12 @@ func DecodeSeries(r io.Reader) ([]Sample, error) {
 		}
 		sm.At = prevAt + d
 		prevAt = sm.At
-		for _, f := range sm.fields() {
+		fields := sm.fields()
+		nf := len(fields)
+		if version == 1 {
+			nf = seriesV1Fields
+		}
+		for _, f := range fields[:nf] {
 			if *f, err = next(); err != nil {
 				return nil, err
 			}

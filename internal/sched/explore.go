@@ -30,6 +30,13 @@ type ConcurrentTest struct {
 	Reader *corpus.Prog
 	Hint   *pmc.PMC
 	Pair   pmc.Pair // corpus test ids, informational
+
+	// Extra carries additional coalesced PMC hints probed by the same
+	// execution ("cooperative composing"): independent channels — disjoint
+	// memory, distinct sites — whose generated tests share this
+	// writer/reader program pair. They join the PMC set under test from
+	// trial 0, bounded by maxCurrentPMCs.
+	Extra []pmc.PMC `json:",omitempty"`
 }
 
 // Mode selects the exploration scheduler.
@@ -92,6 +99,21 @@ type Explorer struct {
 	// coverage across trials (§2.1/§5.3.1).
 	Coverage *cover.Coverage
 
+	// TrackSegments, when set, gives every Explore call a fresh
+	// interleaving-segment accumulator (Outcome.Segments). Unlike the
+	// shared Coverage accumulator, the per-test segment set is a pure
+	// function of (test, seed) — worker-invariant — which is what lets
+	// the feedback scheduler credit clusters by segment yield without
+	// breaking bit-identical reports across worker counts.
+	TrackSegments bool
+
+	// MutateSchedules enables schedule mutation (Snowboard mode only):
+	// when a trial discovers new segments, its pre-trial state plus its
+	// preemption points are kept as a mutable seed, and odd trials replay
+	// a kept seed with the switch decision flipped at a few points near
+	// its recorded preemptions instead of exploring from scratch.
+	MutateSchedules bool
+
 	// Trace stitches this explorer's flight-recorder events to a campaign
 	// (a distributed worker sets it from the leased job; empty falls back to
 	// the process-local campaign).
@@ -109,6 +131,13 @@ type Outcome struct {
 	Switches       int            // total induced preemptions
 	Steps          int            // total events across trials
 	NewCoverPairs  int            // fresh alias instruction pairs covered (if Coverage set)
+
+	// Segments accumulates this test's interleaving segments (set when
+	// the explorer's TrackSegments is on); NewSegments counts those new
+	// to this test's own accumulator. Both are pure functions of
+	// (test, seed), independent of worker placement.
+	Segments    *cover.Segments
+	NewSegments int
 
 	// Repro pins the first trial that surfaced a crash-level issue, for
 	// deterministic reproduction via Replay (§6). Nil when no such trial.
@@ -140,30 +169,48 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 		obs.EmitTrace(x.Trace, obs.EvPMCTested, obs.A("mode", x.Mode.String()),
 			obs.A("hinted", ct.Hint != nil), obs.A("exercised", out.Exercised),
 			obs.A("trials", out.Trials), obs.A("issues", len(out.Issues)))
-		if out.NewCoverPairs > 0 {
-			obs.EmitTrace(x.Trace, obs.EvCoverNew, obs.A("pairs", out.NewCoverPairs))
+		if out.NewCoverPairs > 0 || out.NewSegments > 0 {
+			obs.EmitTrace(x.Trace, obs.EvCoverNew, obs.A("pairs", out.NewCoverPairs),
+				obs.A("segments", out.NewSegments))
 		}
 	}()
 	trials := x.Trials
 	if trials <= 0 {
 		trials = 64
 	}
+	if x.TrackSegments {
+		out.Segments = cover.NewSegments()
+	}
 
 	var currentPMCs []pmc.PMC
 	if ct.Hint != nil {
 		currentPMCs = append(currentPMCs, *ct.Hint)
 	}
+	for i := range ct.Extra {
+		if len(currentPMCs) >= maxCurrentPMCs {
+			break
+		}
+		currentPMCs = append(currentPMCs, ct.Extra[i])
+	}
 	flags := make(map[sig]bool)
 	seen := make(map[string]bool)
 	var tr trace.Trace
 
+	// Mutable yield-schedule seeds: pre-trial state + preemption points of
+	// trials that discovered new segments (MutateSchedules only).
+	type schedSeed struct {
+		state    *ReproState
+		switches []int
+	}
+	var seeds []schedSeed
+	mutating := x.MutateSchedules && x.Mode == ModeSnowboard
+
 	for trial := 0; trial < trials; trial++ {
 		trialSeed := x.Seed + int64(trial)
 		var pretrial *ReproState
-		if x.Mode == ModeSnowboard {
-			pretrial = snapshotRepro(trialSeed, trial, currentPMCs, flags)
-		}
+		var policy *SnowboardPolicy
 		rng := rand.New(rand.NewSource(trialSeed))
+		mutated := false
 		var res exec.Result
 		var switches int
 		switch x.Mode {
@@ -178,15 +225,34 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 			p := NewPCTPolicy(rng, 3, 4096)
 			res = x.Env.RunPair(ct.Writer, ct.Reader, p, &tr)
 		default:
-			p := NewSnowboardPolicy(rng, currentPMCs, flags)
+			if mutating && len(seeds) > 0 && trial%2 == 1 {
+				// Mutation trial: perturb a segment-discovering schedule
+				// near its preemption points instead of exploring fresh.
+				// The trial is a pure function of its synthesized
+				// ReproState, so it replays like any recorded trial.
+				sd := seeds[rng.Intn(len(seeds))]
+				pretrial = &ReproState{
+					Seed:  sd.state.Seed,
+					Trial: trial,
+					PMCs:  sd.state.PMCs,
+					Flags: sd.state.Flags,
+					Flips: mutateFlips(rng, sd.state.Flips, sd.switches),
+				}
+				policy = policyFromState(pretrial)
+				mutated = true
+			} else {
+				pretrial = snapshotRepro(trialSeed, trial, currentPMCs, flags)
+				policy = NewSnowboardPolicy(rng, currentPMCs, flags)
+			}
 			if x.PerformedDenom > 0 {
-				p.PerformedDenom = x.PerformedDenom
+				policy.PerformedDenom = x.PerformedDenom
 			}
 			if x.FlagDenom > 0 {
-				p.FlagDenom = x.FlagDenom
+				policy.FlagDenom = x.FlagDenom
 			}
-			res = x.Env.RunPair(ct.Writer, ct.Reader, p, &tr)
-			switches = p.Switches
+			policy.RecordSwitches = mutating
+			res = x.Env.RunPair(ct.Writer, ct.Reader, policy, &tr)
+			switches = policy.Switches
 		}
 		x.Env.M.SetTrace(nil)
 		out.Trials = trial + 1
@@ -196,6 +262,20 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 		mSwitches.Add(int64(switches))
 		if x.Coverage != nil {
 			out.NewCoverPairs += x.Coverage.AddTrace(&tr)
+		}
+		if out.Segments != nil {
+			if fresh := out.Segments.AddTrace(&tr); fresh > 0 {
+				out.NewSegments += fresh
+				if mutating && policy != nil && len(policy.SwitchEvents) > 0 {
+					seeds = append(seeds, schedSeed{
+						state:    pretrial,
+						switches: append([]int(nil), policy.SwitchEvents...),
+					})
+					if len(seeds) > maxSchedSeeds {
+						seeds = seeds[1:]
+					}
+				}
+			}
 		}
 
 		// Channel witness: did the hinted communication actually happen?
@@ -246,8 +326,9 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 		// read both appeared in this trial. The set under test is capped:
 		// every member PMC adds preemption points, and an unbounded set
 		// degenerates into schedule thrash that closes the very windows the
-		// hint is meant to open.
-		if !x.DisableIncidental && x.Mode == ModeSnowboard && len(currentPMCs) < maxCurrentPMCs {
+		// hint is meant to open. Mutation trials replay historical state
+		// and do not advance the live PMC set.
+		if !mutated && !x.DisableIncidental && x.Mode == ModeSnowboard && len(currentPMCs) < maxCurrentPMCs {
 			if inc, ok := x.findIncidental(&tr, currentPMCs, rng); ok {
 				currentPMCs = append(currentPMCs, inc)
 				mIncidental.Inc()
@@ -258,8 +339,41 @@ func (x *Explorer) Explore(ct ConcurrentTest) Outcome {
 }
 
 // maxCurrentPMCs bounds the PMC set under simultaneous test: the hint plus
-// a few adopted incidentals.
+// composed co-hints and adopted incidentals.
 const maxCurrentPMCs = 4
+
+// maxSchedSeeds bounds the kept mutable yield schedules; newer discoveries
+// evict the oldest.
+const maxSchedSeeds = 4
+
+// mutateFlips derives a mutated flip set: the base seed's flips with 1–2
+// decisions toggled at points drawn within ±2 events of the seed trial's
+// recorded preemptions. Toggling (XOR) rather than adding lets a second
+// mutation of the same seed undo a harmful flip.
+func mutateFlips(rng *rand.Rand, base, switches []int) []int {
+	set := make(map[int]bool, len(base)+2)
+	for _, f := range base {
+		set[f] = true
+	}
+	n := 1 + rng.Intn(2)
+	for k := 0; k < n; k++ {
+		at := switches[rng.Intn(len(switches))] + rng.Intn(5) - 2
+		if at < 0 {
+			at = 0
+		}
+		if set[at] {
+			delete(set, at)
+		} else {
+			set[at] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // findIncidental locates a PMC from the identified set present in the
 // trial's accesses but not yet under test, choosing deterministically among
@@ -329,7 +443,20 @@ func (x *Explorer) findIncidental(tr *trace.Trace, current []pmc.PMC, rng *rand.
 		if a.Write.Val != b.Write.Val {
 			return a.Write.Val < b.Write.Val
 		}
-		return a.Read.Val < b.Read.Val
+		if a.Read.Val != b.Read.Val {
+			return a.Read.Val < b.Read.Val
+		}
+		// Size completes the order: candidates are distinct map keys, so
+		// two that agree on every field above differ in a Size — without
+		// this the sort is not total and the unstable sort.Slice leaks map
+		// iteration order into which PMC gets adopted.
+		if a.Write.Size != b.Write.Size {
+			return a.Write.Size < b.Write.Size
+		}
+		if a.Read.Size != b.Read.Size {
+			return a.Read.Size < b.Read.Size
+		}
+		return !a.DFLeader && b.DFLeader
 	})
 	// Draw among the least-frequent quartile to retain Algorithm 2's
 	// random choice without re-admitting the hot channels.

@@ -84,6 +84,22 @@ type SnowboardPolicy struct {
 	// predecessor access (default 2).
 	FlagDenom int
 
+	// FlipAt inverts the rng-drawn switch decision at the listed access
+	// indices (0-based, counting every OnAccess event). This is the
+	// schedule-mutation mechanism: a trial that discovered new
+	// interleaving segments is replayed with a few decisions flipped near
+	// its recorded preemption points instead of exploring from scratch.
+	// The liveness force still applies after the flip, so a mutated
+	// schedule can never starve a thread.
+	FlipAt map[int]bool
+	// RecordSwitches enables SwitchEvents collection.
+	RecordSwitches bool
+	// SwitchEvents lists the access indices at which a preemption was
+	// induced, in order (only collected when RecordSwitches is set).
+	SwitchEvents []int
+
+	accessIndex int // events seen so far (indexes FlipAt/SwitchEvents)
+
 	// Switches counts induced preemptions, for reporting.
 	Switches int
 }
@@ -131,38 +147,36 @@ func (p *SnowboardPolicy) isCurrent(s sig) bool {
 // happens only when a preemption is actually requested (the rng-draw
 // sequence is exactly the one the old Pick-per-access flow performed).
 func (p *SnowboardPolicy) OnAccess(m *vm.Machine, t *vm.Thread, a vm.AccessInfo) bool {
-	if a.Stack {
+	idx := p.accessIndex
+	p.accessIndex++
+	doSwitch := false
+	if !a.Stack {
 		// Stack accesses are excluded from memory tracking (§4.4.1);
 		// they are not PMC accesses, not flags, and not predecessors.
-		p.streak++
-		if p.streak >= livenessWindow {
-			p.streak = 0
-			p.Switches++
-			return true
+		s := sigOfInfo(&a)
+		if p.isCurrent(s) {
+			// performed_pmc_access: remember the predecessor as a flag for
+			// future trials and maybe reschedule now.
+			if a.Thread < len(p.haveLast) && p.haveLast[a.Thread] {
+				f := p.last[a.Thread]
+				p.flags[f] = true
+				p.flagIns[f.ins] = true
+			}
+			doSwitch = p.rng.Intn(p.PerformedDenom) == 0
+		} else if p.flagIns[s.ins] && p.flags[s] && !p.fired[s] {
+			// pmc_access_coming: the next access is likely a PMC access.
+			// Each flag fires once per trial; many flags are on hot
+			// allocator sites and would otherwise thrash the schedule.
+			p.fired[s] = true
+			doSwitch = p.rng.Intn(p.FlagDenom) == 0
 		}
-		return false
-	}
-	s := sigOfInfo(&a)
-	doSwitch := false
-	if p.isCurrent(s) {
-		// performed_pmc_access: remember the predecessor as a flag for
-		// future trials and maybe reschedule now.
-		if a.Thread < len(p.haveLast) && p.haveLast[a.Thread] {
-			f := p.last[a.Thread]
-			p.flags[f] = true
-			p.flagIns[f.ins] = true
+		if a.Thread < len(p.last) {
+			p.last[a.Thread] = s
+			p.haveLast[a.Thread] = true
 		}
-		doSwitch = p.rng.Intn(p.PerformedDenom) == 0
-	} else if p.flagIns[s.ins] && p.flags[s] && !p.fired[s] {
-		// pmc_access_coming: the next access is likely a PMC access.
-		// Each flag fires once per trial; many flags are on hot
-		// allocator sites and would otherwise thrash the schedule.
-		p.fired[s] = true
-		doSwitch = p.rng.Intn(p.FlagDenom) == 0
 	}
-	if a.Thread < len(p.last) {
-		p.last[a.Thread] = s
-		p.haveLast[a.Thread] = true
+	if p.FlipAt != nil && p.FlipAt[idx] {
+		doSwitch = !doSwitch
 	}
 	p.streak++
 	if p.streak >= livenessWindow {
@@ -171,6 +185,9 @@ func (p *SnowboardPolicy) OnAccess(m *vm.Machine, t *vm.Thread, a vm.AccessInfo)
 	if doSwitch {
 		p.streak = 0
 		p.Switches++
+		if p.RecordSwitches {
+			p.SwitchEvents = append(p.SwitchEvents, idx)
+		}
 		return true
 	}
 	return false

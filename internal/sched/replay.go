@@ -39,6 +39,10 @@ type ReproState struct {
 	Trial int         `json:"trial"` // informational
 	PMCs  []pmc.PMC   `json:"pmcs"`  // PMCs under test when the trial started
 	Flags []AccessSig `json:"flags"` // accumulated pmc_access_coming markers
+	// Flips lists access indices at which the scheduler's switch decision
+	// was inverted — set only for schedule-mutation trials, which replay a
+	// segment-discovering schedule perturbed near its preemption points.
+	Flips []int `json:"flips,omitempty"`
 }
 
 // snapshotRepro captures the pre-trial scheduler state.
@@ -67,15 +71,31 @@ func snapshotRepro(seed int64, trial int, pmcs []pmc.PMC, flags map[sig]bool) *R
 	return st
 }
 
-// Replay re-executes exactly one trial from the recorded state and returns
-// the execution result plus the trial's trace. The same kernel faults occur
-// on every call: the substrate is deterministic end to end.
-func Replay(env *exec.Env, ct ConcurrentTest, st *ReproState, tr *trace.Trace) exec.Result {
+// policyFromState rebuilds the exact scheduler a recorded trial ran with:
+// rng seeded from the trial seed, flags and PMCs from the snapshot, and
+// any mutation flips re-applied. Both Replay and the explorer's mutated
+// trials construct their policy through this, so a mutated trial is
+// replayable from its ReproState alone.
+func policyFromState(st *ReproState) *SnowboardPolicy {
 	flags := make(map[sig]bool, len(st.Flags))
 	for _, f := range st.Flags {
 		flags[importSig(f)] = true
 	}
 	rng := rand.New(rand.NewSource(st.Seed))
 	policy := NewSnowboardPolicy(rng, st.PMCs, flags)
+	if len(st.Flips) > 0 {
+		policy.FlipAt = make(map[int]bool, len(st.Flips))
+		for _, i := range st.Flips {
+			policy.FlipAt[i] = true
+		}
+	}
+	return policy
+}
+
+// Replay re-executes exactly one trial from the recorded state and returns
+// the execution result plus the trial's trace. The same kernel faults occur
+// on every call: the substrate is deterministic end to end.
+func Replay(env *exec.Env, ct ConcurrentTest, st *ReproState, tr *trace.Trace) exec.Result {
+	policy := policyFromState(st)
 	return env.RunPair(ct.Writer, ct.Reader, policy, tr)
 }

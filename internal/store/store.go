@@ -71,6 +71,10 @@ const (
 	// (pmc.EncodeIncremental): the cumulative PMC set plus the write index
 	// and reader views needed to identify only new profiles on resume.
 	KindPMCIndex
+	// KindFeedback is a JSON feedback-round checkpoint (core.RunFeedback):
+	// per-cluster credits, cumulative segment coverage, pipeline cursors,
+	// and the partial report after one budget-allocation round.
+	KindFeedback
 )
 
 // String names the kind for paths and diagnostics.
@@ -90,6 +94,8 @@ func (k Kind) String() string {
 		return "timeseries"
 	case KindPMCIndex:
 		return "pmcindex"
+	case KindFeedback:
+		return "feedback"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }

@@ -87,6 +87,60 @@ func LookupIns(name string) (Ins, bool) {
 	return id, ok
 }
 
+// Region abstraction: coverage metrics that want subsystem-level rather
+// than site-level identity (e.g. interleaving-segment coverage) bucket
+// instructions by their *owning region* — the kernel-function prefix of
+// the site name, before the ':' in the "kernel_function:operation"
+// convention. Region names are themselves interned through DefIns so the
+// IDs are stable across processes, which lets segment state be serialized
+// into the artifact store and resumed byte-identically.
+var regionState = struct {
+	once  sync.Once
+	mu    sync.RWMutex
+	cache map[Ins]Ins
+}{cache: make(map[Ins]Ins)}
+
+// regionName trims a site name to its owning-region prefix.
+func regionName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == ':' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// seedRegions interns the region of every instruction registered so far in
+// ascending-ID order. Kernel sites all register at package init, so doing
+// this once on first use gives every process the same region registration
+// order regardless of which traces it happens to observe first — open
+// addressing in DefIns then resolves identically everywhere.
+func seedRegions() {
+	for _, id := range RegisteredIns() {
+		regionState.mu.Lock()
+		regionState.cache[id] = DefIns(regionName(id.Name()))
+		regionState.mu.Unlock()
+	}
+}
+
+// RegionOf returns the interned ID of the instruction's owning region.
+// Unregistered instructions map to a region named after their hex
+// placeholder, so the result is still deterministic.
+func RegionOf(i Ins) Ins {
+	regionState.once.Do(seedRegions)
+	regionState.mu.RLock()
+	r, ok := regionState.cache[i]
+	regionState.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = DefIns(regionName(i.Name()))
+	regionState.mu.Lock()
+	regionState.cache[i] = r
+	regionState.mu.Unlock()
+	return r
+}
+
 // RegisteredIns returns all registered instruction IDs in ascending order.
 // It is used by coverage accounting and by tests that validate the registry.
 func RegisteredIns() []Ins {
