@@ -256,6 +256,18 @@ func renderWatch(q *queue.Queue) string {
 		pairs, segments, cov.Rate.NewPairsPerMin, cov.Rate.NewSegmentsPerMin, cov.Rate.NewEdgesPerMin, cov.Plateaued)
 	fmt.Fprintf(&b, "issues  %d found  %d detect reports\n", pr.IssuesFound, pr.DetectReports)
 	evs := obs.Events.Since(0)
+	minimized, lastBundle := 0, ""
+	for _, ev := range evs {
+		if ev.Kind == obs.EvTriageMinimized {
+			minimized++
+			if s, ok := ev.Attrs["bundle"].(string); ok {
+				lastBundle = s
+			}
+		}
+	}
+	if minimized > 0 {
+		fmt.Fprintf(&b, "triage  %d minimized  last bundle %s\n", minimized, lastBundle)
+	}
 	if n := len(evs); n > 6 {
 		evs = evs[n-6:]
 	}

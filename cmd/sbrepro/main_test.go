@@ -3,10 +3,17 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"io/fs"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"snowboard/internal/sched"
+	"snowboard/internal/store"
+	"snowboard/internal/triage"
 )
 
 func buildTool(t *testing.T, pkg string) string {
@@ -72,5 +79,152 @@ func TestSbreproListsStoredReports(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
 	if len(lines) < 2 || strings.TrimSpace(lines[1]) == "" {
 		t.Fatalf("no report digest listed:\n%s", stdout)
+	}
+}
+
+// TestClassifyExit pins the documented exit-code mapping: format-version
+// mismatches are stale (3), undecodable artifacts are corrupt (4), and
+// everything else — missing files, bad digests — is usage (2).
+func TestClassifyExit(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"sched stale", fmt.Errorf("load: %w", sched.ErrBundleStale), exitStaleBundle},
+		{"sched corrupt", fmt.Errorf("load: %w", sched.ErrBundleCorrupt), exitCorruptBundle},
+		{"triage stale", fmt.Errorf("bundle: %w", triage.ErrStale), exitStaleBundle},
+		{"triage corrupt", fmt.Errorf("bundle: %w", triage.ErrCorrupt), exitCorruptBundle},
+		{"store corrupt", fmt.Errorf("get: %w", store.ErrCorrupt), exitCorruptBundle},
+		{"missing file", fs.ErrNotExist, exitUsage},
+		{"other", errors.New("boom"), exitUsage},
+	}
+	for _, tc := range cases {
+		if got := classifyExit(tc.err); got != tc.want {
+			t.Errorf("%s: classifyExit = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// writeFileBundle drops raw bytes where replayBundle will read them.
+func writeFileBundle(t *testing.T, data string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bundle.json")
+	if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestReplayBundleStaleVsCorrupt drives the file-bundle path through each
+// failure class and asserts the error classifies to the right exit code
+// with distinguishable errors.Is identities.
+func TestReplayBundleStaleVsCorrupt(t *testing.T) {
+	cases := []struct {
+		name     string
+		data     string
+		wantExit int
+		wantIs   error
+	}{
+		{"garbage", "not json", exitCorruptBundle, sched.ErrBundleCorrupt},
+		{"no format field", `{"version":"5.12-rc3"}`, exitStaleBundle, sched.ErrBundleStale},
+		{"future format", `{"format":99,"version":"5.12-rc3"}`, exitStaleBundle, sched.ErrBundleStale},
+		{"right format, invalid body", `{"format":1}`, exitCorruptBundle, sched.ErrBundleCorrupt},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		_, err := replayBundle(&sb, writeFileBundle(t, tc.data), true)
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !errors.Is(err, tc.wantIs) {
+			t.Errorf("%s: error %v is not %v", tc.name, err, tc.wantIs)
+		}
+		if got := classifyExit(err); got != tc.wantExit {
+			t.Errorf("%s: exit %d, want %d", tc.name, got, tc.wantExit)
+		}
+	}
+	// A missing file is a usage error, not a corrupt bundle.
+	var sb strings.Builder
+	_, err := replayBundle(&sb, filepath.Join(t.TempDir(), "nope.json"), true)
+	if err == nil || classifyExit(err) != exitUsage {
+		t.Fatalf("missing file: err=%v exit=%d, want usage", err, classifyExit(err))
+	}
+}
+
+// TestLoadMinBundleStaleVsCorrupt covers the -min store path: SBRB bundles
+// written under other format versions are stale; damaged payloads are
+// corrupt. (The artifacts are planted directly in the store, bypassing
+// triage.SaveBundle's validation, exactly like an old or damaged fleet
+// member would leave them.)
+func TestLoadMinBundleStaleVsCorrupt(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(data string) store.Digest {
+		d, err := s.Put(store.KindRepro, []byte(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name   string
+		data   string
+		wantIs error
+		exit   int
+	}{
+		{"garbage", "not a bundle", triage.ErrCorrupt, exitCorruptBundle},
+		{"pre-format writer", `{"kernel":"5.12-rc3"}`, triage.ErrStale, exitStaleBundle},
+		{"future format", `{"format":2}`, triage.ErrStale, exitStaleBundle},
+		{"right format, invalid body", `{"format":1}`, triage.ErrCorrupt, exitCorruptBundle},
+	}
+	for _, tc := range cases {
+		d := put(tc.data)
+		_, err := triage.LoadBundle(s, d)
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !errors.Is(err, tc.wantIs) {
+			t.Errorf("%s: error %v is not %v", tc.name, err, tc.wantIs)
+		}
+		if got := classifyExit(err); got != tc.exit {
+			t.Errorf("%s: exit %d, want %d", tc.name, got, tc.exit)
+		}
+	}
+}
+
+// TestReplayMinUsagePaths: no match and ambiguous digest prefixes are
+// usage errors (2), never reported as stale or corrupt.
+func TestReplayMinUsagePaths(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayMin(dir, "deadbeef", true) != exitUsage {
+		t.Fatal("no-match prefix should be a usage error")
+	}
+	d1, err := s.Put(store.KindRepro, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Put(store.KindRepro, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	common := ""
+	for i := 0; i < len(d1.String()); i++ {
+		if d1.String()[i] != d2.String()[i] {
+			break
+		}
+		common = d1.String()[:i+1]
+	}
+	if common == "" {
+		t.Skip("digests share no common prefix to make ambiguous")
+	}
+	if replayMin(dir, common, true) != exitUsage {
+		t.Fatal("ambiguous prefix should be a usage error")
 	}
 }

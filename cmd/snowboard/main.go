@@ -218,6 +218,15 @@ func printReport(r *snowboard.Report, verbose bool) {
 	}
 	ids := r.BugIDs()
 	fmt.Printf("  issues found: %v\n", ids)
+	minimized := 0
+	for _, id := range ids {
+		if r.Issues[id].Triage != nil {
+			minimized++
+		}
+	}
+	if minimized > 0 {
+		fmt.Printf("  triage: %d finding(s) minimized into repro bundles (replay with: sbrepro -state <dir> -min <digest>)\n", minimized)
+	}
 	if verbose {
 		printIssues(r)
 	}
@@ -230,6 +239,14 @@ func printIssues(r *snowboard.Report) {
 		rec := r.Issues[id]
 		fmt.Printf("    #%-2d after %3d tests (trial %2d): [%s] %s\n",
 			id, rec.TestIndex, rec.Trial, rec.Issue.Kind, rec.Issue.Desc)
+		if t := rec.Triage; t != nil {
+			st := t.Stats
+			fmt.Printf("         minimized: %s  bundle %s\n", t.Signature, t.Bundle)
+			fmt.Printf("         schedule %d->%d decisions, syscalls %d+%d -> %d+%d (%d replays)\n",
+				st.DecisionsOrig, st.DecisionsMin,
+				st.WriterCallsOrig, st.ReaderCallsOrig, st.WriterCallsMin, st.ReaderCallsMin,
+				st.Replays)
+		}
 	}
 	for _, u := range r.Unknown {
 		fmt.Printf("    UNCLASSIFIED: [%s] %s\n", u.Kind, u.Desc)

@@ -142,6 +142,12 @@ type IssueRecord struct {
 	Repro *sched.ReproState
 	// Test is the concurrent test that exposed the issue.
 	Test sched.ConcurrentTest
+
+	// Triage, when non-nil, is the post-detect triage outcome: the stable
+	// crash signature, the content digest of the minimized SBRB repro
+	// bundle (`sbrepro -state <dir> -min <digest>` replays it), and the
+	// minimization statistics.
+	Triage *TriageSummary `json:",omitempty"`
 }
 
 // Report is the outcome of one pipeline run — one Table 3 row plus the

@@ -65,6 +65,7 @@ func digestRun(t *testing.T, workers int) reportDigest {
 	p.IdentifyPMCs(r)
 	tests := p.GenerateTests(r, opts.TestBudget)
 	p.ExecuteTests(r, tests)
+	p.TriageReport(r)
 
 	d := reportDigest{
 		FuzzExecutions: r.FuzzExecutions,
@@ -96,8 +97,12 @@ func digestRun(t *testing.T, workers int) reportDigest {
 		d.ClusterHistView = append(d.ClusterHistView, len(cs[i].PMCs))
 	}
 	for id, rec := range r.Issues {
-		d.Issues[id] = fmt.Sprintf("%s|test=%d|trial=%d|count=%d|repro=%v",
-			rec.Issue.ID(), rec.TestIndex, rec.Trial, rec.Count, rec.Repro != nil)
+		triage := ""
+		if rec.Triage != nil {
+			triage = fmt.Sprintf("%s|%s|%+v", rec.Triage.Signature, rec.Triage.Bundle, rec.Triage.Stats)
+		}
+		d.Issues[id] = fmt.Sprintf("%s|test=%d|trial=%d|count=%d|repro=%v|triage=%s",
+			rec.Issue.ID(), rec.TestIndex, rec.Trial, rec.Count, rec.Repro != nil, triage)
 	}
 	for _, u := range r.Unknown {
 		d.Unknown = append(d.Unknown, u.ID())

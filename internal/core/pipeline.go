@@ -427,13 +427,7 @@ func (p *Pipeline) executeTests(r *Report, tests []sched.ConcurrentTest) []int {
 }
 
 // crashLevel reports whether the issue kind wedges or corrupts the kernel.
-func crashLevel(k detect.IssueKind) bool {
-	switch k {
-	case detect.KindPanic, detect.KindFSError, detect.KindIOError, detect.KindDeadlock:
-		return true
-	}
-	return false
-}
+func crashLevel(k detect.IssueKind) bool { return detect.CrashLevel(k) }
 
 // Run executes the full pipeline. With Options.StateDir set, every stage
 // memoizes through the content-addressed artifact store rooted there: a
@@ -469,6 +463,7 @@ func Run(opts Options) (*Report, error) {
 		tests := p.GenerateTests(r, opts.TestBudget)
 		p.ExecuteTests(r, tests)
 	}
+	p.TriageReport(r)
 	r.CaptureMetrics()
 	if p.store != nil {
 		p.saveReportStage(r, opts.TestBudget)

@@ -83,6 +83,23 @@ func funcOf(ins trace.Ins) string {
 	return name
 }
 
+// SiteOf is funcOf for other packages: the kernel function an instruction
+// belongs to, the granularity at which triage signatures and Table 2
+// classification match sites.
+func SiteOf(ins trace.Ins) string { return funcOf(ins) }
+
+// CrashLevel reports whether the issue kind wedges or corrupts the kernel
+// (panic, fs/io corruption, deadlock) as opposed to a benign-by-itself
+// observation (data race witness, hang heuristics). Crash-level findings
+// are the ones the explorer records repro state for and triage minimizes.
+func CrashLevel(k IssueKind) bool {
+	switch k {
+	case KindPanic, KindFSError, KindIOError, KindDeadlock:
+		return true
+	}
+	return false
+}
+
 // CheckConsole scans console lines for crash and corruption signatures.
 // lastAccess maps thread id -> the final access recorded before a fault,
 // used to attribute panics to a kernel function.
@@ -176,7 +193,13 @@ func FindRaces(tr *trace.Trace) []RaceReport {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
+	// Sort key: (write Ins, read Ins). The `seen` map dedups exactly this
+	// pair, so the comparator is total over the slice today. SliceStable
+	// keeps the output deterministic even if that invariant ever weakens:
+	// ties would then fall back to append order, which follows the trace
+	// scan and is itself deterministic — never the sorter's internal
+	// permutation.
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Write.Ins != out[j].Write.Ins {
 			return out[i].Write.Ins < out[j].Write.Ins
 		}

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -375,5 +376,35 @@ func TestIssueIDDistinguishesTorn(t *testing.T) {
 	torn.Torn = true
 	if race.ID() == torn.ID() {
 		t.Fatal("torn and plain race share an ID")
+	}
+}
+
+// TestFindRacesShuffleInvariant pins the report ordering against map
+// iteration order and sort-internals: the same trace must produce the
+// identical race list on every call, sorted by (write Ins, read Ins).
+func TestFindRacesShuffleInvariant(t *testing.T) {
+	ws := []trace.Ins{dIns1, dIns4, trace.DefIns("detect_test:w3"), trace.DefIns("detect_test:w4")}
+	rs := []trace.Ins{dIns2, trace.DefIns("detect_test:r2"), trace.DefIns("detect_test:r3")}
+	var accs []trace.Access
+	for wi, w := range ws {
+		for ri, r := range rs {
+			addr := uint64(0x1000 + 0x10*(wi*len(rs)+ri))
+			accs = append(accs, acc(0, trace.Write, w, addr, 8, 1), acc(1, trace.Read, r, addr, 8, 0))
+		}
+	}
+	base := FindRaces(traceOf(accs...))
+	if len(base) != len(ws)*len(rs) {
+		t.Fatalf("races: %d, want %d", len(base), len(ws)*len(rs))
+	}
+	for i := 1; i < len(base); i++ {
+		a, b := base[i-1], base[i]
+		if a.Write.Ins > b.Write.Ins || (a.Write.Ins == b.Write.Ins && a.Read.Ins >= b.Read.Ins) {
+			t.Fatalf("races not strictly ordered at %d: %+v then %+v", i, a, b)
+		}
+	}
+	for run := 0; run < 50; run++ {
+		if got := FindRaces(traceOf(accs...)); !reflect.DeepEqual(got, base) {
+			t.Fatalf("run %d: race order diverged", run)
+		}
 	}
 }

@@ -80,6 +80,16 @@ func Render(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue, opt Options) 
 			}
 		}
 	}
+	if len(show) == 0 && tr.Len() > 0 {
+		// No anchors at all — a nil hint with an empty (or site-less)
+		// issue list. Show the head of the trace instead of rendering an
+		// empty body that silently hides the whole interleaving; the row
+		// cap below still truncates (with a counted marker) when the trace
+		// is longer than MaxRows.
+		for j := 0; j < tr.Len(); j++ {
+			show[j] = true
+		}
+	}
 
 	var b strings.Builder
 	b.WriteString("Concurrent test interleaving (kernel thread 1 | kernel thread 2)\n")
@@ -95,6 +105,10 @@ func Render(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue, opt Options) 
 	}
 	b.WriteString(strings.Repeat("-", 100) + "\n")
 
+	if tr.Len() == 0 {
+		b.WriteString("    (empty trace)\n")
+		return b.String()
+	}
 	rows := 0
 	prevShown := true
 	for i, n := 0, tr.Len(); i < n; i++ {
@@ -107,7 +121,13 @@ func Render(tr *trace.Trace, hint *pmc.PMC, issues []detect.Issue, opt Options) 
 		}
 		prevShown = true
 		if rows >= opt.MaxRows {
-			b.WriteString("    ... (truncated)\n")
+			rest := 0
+			for j := i; j < n; j++ {
+				if show[j] {
+					rest++
+				}
+			}
+			fmt.Fprintf(&b, "    ... (truncated: %d more rows beyond the %d-row cap)\n", rest, opt.MaxRows)
 			break
 		}
 		rows++

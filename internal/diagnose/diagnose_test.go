@@ -70,7 +70,7 @@ func TestRenderRowCap(t *testing.T) {
 		tr.Append(trace.Access{Thread: 0, Kind: trace.Write, Ins: dgW, Addr: 0x100, Size: 8})
 	}
 	out := Render(tr, diagHint(), nil, Options{Context: 2, MaxRows: 10})
-	if !strings.Contains(out, "(truncated)") {
+	if !strings.Contains(out, "(truncated: ") {
 		t.Fatal("row cap not applied")
 	}
 	if n := strings.Count(out, "diag_test:publish"); n > 12 {
@@ -84,5 +84,55 @@ func TestSummarize(t *testing.T) {
 	})
 	if !strings.Contains(s, "diag_test:publish") || !strings.Contains(s, "kernel crash") {
 		t.Fatalf("summary: %s", s)
+	}
+}
+
+func TestRenderNilHintEmptyIssues(t *testing.T) {
+	// No hint and no issues means no anchors; the renderer must fall back
+	// to the head of the trace instead of an empty body.
+	tr := &trace.Trace{}
+	for i := 0; i < 8; i++ {
+		tr.Append(trace.Access{Thread: i % 2, Kind: trace.Write, Ins: dgW, Addr: 0x100, Size: 8})
+	}
+	out := Render(tr, nil, nil, Options{Context: 2, MaxRows: 64})
+	if n := strings.Count(out, "diag_test:publish"); n != 8 {
+		t.Fatalf("head fallback rendered %d rows, want 8:\n%s", n, out)
+	}
+	if strings.Contains(out, "(truncated") {
+		t.Fatalf("short trace reported truncation:\n%s", out)
+	}
+}
+
+func TestRenderNilHintLongTraceTruncates(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Access{Thread: 0, Kind: trace.Write, Ins: dgW, Addr: 0x100, Size: 8})
+	}
+	out := Render(tr, nil, nil, Options{Context: 2, MaxRows: 10})
+	if n := strings.Count(out, "diag_test:publish"); n != 10 {
+		t.Fatalf("rendered %d rows, want exactly MaxRows=10:\n%s", n, out)
+	}
+	if !strings.Contains(out, "(truncated: ") {
+		t.Fatalf("no truncation marker:\n%s", out)
+	}
+}
+
+func TestRenderEmptyTrace(t *testing.T) {
+	out := Render(&trace.Trace{}, nil, nil, DefaultOptions())
+	if !strings.Contains(out, "(empty trace)") {
+		t.Fatalf("empty trace not marked:\n%s", out)
+	}
+}
+
+func TestRenderAnchoredTruncationCountsHiddenRows(t *testing.T) {
+	// Anchors spread across a long trace: the cap must say how many
+	// anchored rows it hid rather than silently clipping.
+	tr := &trace.Trace{}
+	for i := 0; i < 300; i++ {
+		tr.Append(trace.Access{Thread: 0, Kind: trace.Write, Ins: dgW, Addr: 0x100, Size: 8})
+	}
+	out := Render(tr, diagHint(), nil, Options{Context: 1, MaxRows: 5})
+	if !strings.Contains(out, "(truncated: ") || !strings.Contains(out, "more rows beyond the 5-row cap") {
+		t.Fatalf("truncation marker missing or uncounted:\n%s", out)
 	}
 }

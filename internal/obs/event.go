@@ -28,21 +28,22 @@ import (
 // Well-known event kinds. Attrs carry the specifics; Kind is what
 // consumers filter on.
 const (
-	EvCampaignStart  = "campaign.start"   // a campaign (pipeline or coordinator) began
-	EvCampaignDone   = "campaign.done"    // the campaign finished
-	EvStageDone      = "stage.done"       // one pipeline stage completed (attrs: stage, cache, dur_ms, ...)
-	EvPMCIdentified  = "pmc.identified"   // Algorithm 1 finished (attrs: keys, combinations)
-	EvPMCIncremental = "pmc.incremental"  // one profile batch ingested incrementally (attrs: batch, profiles, delta, keys)
-	EvPMCTested      = "pmc.tested"       // one concurrent test explored (attrs: hinted, exercised, trials)
-	EvCoverNew       = "cover.new"        // coverage grew (attrs: edges, pairs, or segments delta)
-	EvFeedbackRound  = "feedback.round"   // one feedback round completed (attrs: round, tests, segments, issues)
-	EvRaceFound      = "race.found"       // a crash-level oracle finding surfaced
-	EvExecCrash      = "exec.crash"       // a VM execution crashed the simulated kernel
-	EvJobLeased      = "job.leased"       // queue: job delivered under a lease
-	EvJobAcked       = "job.acked"        // queue: lease settled successfully
-	EvJobNacked      = "job.nacked"       // queue: lease handed back by a worker
-	EvJobExpired     = "job.expired"      // queue: lease reaped after its deadline
-	EvJobDeadLetter  = "job.deadlettered" // queue: delivery attempts exhausted
+	EvCampaignStart   = "campaign.start"   // a campaign (pipeline or coordinator) began
+	EvCampaignDone    = "campaign.done"    // the campaign finished
+	EvStageDone       = "stage.done"       // one pipeline stage completed (attrs: stage, cache, dur_ms, ...)
+	EvPMCIdentified   = "pmc.identified"   // Algorithm 1 finished (attrs: keys, combinations)
+	EvPMCIncremental  = "pmc.incremental"  // one profile batch ingested incrementally (attrs: batch, profiles, delta, keys)
+	EvPMCTested       = "pmc.tested"       // one concurrent test explored (attrs: hinted, exercised, trials)
+	EvCoverNew        = "cover.new"        // coverage grew (attrs: edges, pairs, or segments delta)
+	EvFeedbackRound   = "feedback.round"   // one feedback round completed (attrs: round, tests, segments, issues)
+	EvRaceFound       = "race.found"       // a crash-level oracle finding surfaced
+	EvTriageMinimized = "triage.minimized" // a finding was minimized into an SBRB bundle (attrs: bug, signature, bundle, ...)
+	EvExecCrash       = "exec.crash"       // a VM execution crashed the simulated kernel
+	EvJobLeased       = "job.leased"       // queue: job delivered under a lease
+	EvJobAcked        = "job.acked"        // queue: lease settled successfully
+	EvJobNacked       = "job.nacked"       // queue: lease handed back by a worker
+	EvJobExpired      = "job.expired"      // queue: lease reaped after its deadline
+	EvJobDeadLetter   = "job.deadlettered" // queue: delivery attempts exhausted
 )
 
 // Event is one flight-recorder entry. Seq is a process-wide monotone
@@ -168,6 +169,9 @@ func (l *EventLog) Since(n uint64) []Event {
 			out = append(out, *ev)
 		}
 	}
+	// Total order: Seq values are unique by construction (each emission
+	// takes seq.Add(1) on the process-wide counter), so no two retained
+	// events compare equal and the unstable sort cannot permute ties.
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }

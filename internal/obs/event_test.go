@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -230,5 +231,37 @@ func TestEventLogDisabled(t *testing.T) {
 	}
 	if got := l.Since(0); len(got) != 0 {
 		t.Fatalf("disabled log retained %d events", len(got))
+	}
+}
+
+// TestSinceShuffleInvariant pins Since ordering: sequence numbers are
+// unique by construction, so repeated calls must return the identical
+// strictly-increasing event list even after concurrent emission.
+func TestSinceShuffleInvariant(t *testing.T) {
+	l := NewEventLog(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Emit("shuffle.test", A("g", g), A("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	base := l.Since(0)
+	if len(base) != 400 {
+		t.Fatalf("events: %d", len(base))
+	}
+	for i := 1; i < len(base); i++ {
+		if base[i].Seq <= base[i-1].Seq {
+			t.Fatalf("seq not strictly increasing at %d: %d then %d", i, base[i-1].Seq, base[i].Seq)
+		}
+	}
+	for run := 0; run < 50; run++ {
+		if got := l.Since(0); !reflect.DeepEqual(got, base) {
+			t.Fatalf("run %d: Since order diverged", run)
+		}
 	}
 }

@@ -47,6 +47,8 @@ func IdentifyTriples(set *Set, maxTriples int) []TripleEntry {
 	for w := range byWrite {
 		writes = append(writes, w)
 	}
+	// Total order: writes are distinct map keys and keyLess compares every
+	// Key field, so no two entries tie.
 	sort.Slice(writes, func(i, j int) bool { return keyLess(writes[i], writes[j]) })
 
 	var out []TripleEntry
@@ -55,7 +57,20 @@ func IdentifyTriples(set *Set, maxTriples int) []TripleEntry {
 		if len(group) < 2 {
 			continue
 		}
-		sort.Slice(group, func(i, j int) bool { return keyLess(group[i].PMC.Read, group[j].PMC.Read) })
+		// The read key alone is NOT a total order here: Set.Entries is
+		// keyed by the full PMC struct, so two entries can share both
+		// write and read keys and differ only in DFLeader. Without the
+		// DFLeader tie-break the unstable sort leaks map iteration order
+		// into triple/pair ordering (and from there into reports).
+		sort.Slice(group, func(i, j int) bool {
+			if keyLess(group[i].PMC.Read, group[j].PMC.Read) {
+				return true
+			}
+			if keyLess(group[j].PMC.Read, group[i].PMC.Read) {
+				return false
+			}
+			return !group[i].PMC.DFLeader && group[j].PMC.DFLeader
+		})
 		for i := 0; i < len(group); i++ {
 			for j := i + 1; j < len(group); j++ {
 				a, b := group[i], group[j]

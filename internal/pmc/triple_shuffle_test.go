@@ -1,0 +1,37 @@
+package pmc
+
+import (
+	"reflect"
+	"testing"
+
+	"snowboard/internal/trace"
+)
+
+// TestIdentifyTriplesShuffleInvariant pins triple ordering against map
+// iteration order. The set deliberately contains two entries sharing both
+// write and read keys, differing only in DFLeader — the exact tie the
+// group sort must break explicitly, or the output order follows the
+// randomized iteration over Set.Entries.
+func TestIdentifyTriplesShuffleInvariant(t *testing.T) {
+	w := Key{Ins: trace.DefIns("triple_shuffle:pub"), Addr: 0x100, Size: 8, Val: 1}
+	r1 := Key{Ins: trace.DefIns("triple_shuffle:get1"), Addr: 0x100, Size: 8, Val: 0}
+	r2 := Key{Ins: trace.DefIns("triple_shuffle:get2"), Addr: 0x108, Size: 8, Val: 0}
+
+	build := func() *Set {
+		s := NewSet()
+		// DFLeader tie: same write, same read.
+		s.Add(PMC{Write: w, Read: r1, DFLeader: false}, Pair{Writer: 0, Reader: 1})
+		s.Add(PMC{Write: w, Read: r1, DFLeader: true}, Pair{Writer: 0, Reader: 2})
+		s.Add(PMC{Write: w, Read: r2}, Pair{Writer: 0, Reader: 3})
+		return s
+	}
+	base := IdentifyTriples(build(), 0)
+	if len(base) != 2 {
+		t.Fatalf("triples: %d, want 2 (tied entries each pair with the distinct read)", len(base))
+	}
+	for run := 0; run < 100; run++ {
+		if got := IdentifyTriples(build(), 0); !reflect.DeepEqual(got, base) {
+			t.Fatalf("run %d: triple order diverged:\n%+v\nvs\n%+v", run, got, base)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -10,11 +11,28 @@ import (
 	"snowboard/internal/pmc"
 )
 
+// BundleFormat versions the on-disk repro-bundle layout. Bump it whenever
+// the JSON shape or replay semantics change; LoadBundle reports bundles
+// written under a different version as stale, never as corrupt.
+const BundleFormat = 1
+
+// LoadBundle failure classes, errors.Is-matchable so cmd/sbrepro can map
+// them to distinct diagnostics and exit codes.
+var (
+	// ErrBundleStale marks a well-formed bundle written for a different
+	// format version; re-generate it with this binary.
+	ErrBundleStale = errors.New("sched: bundle format version mismatch")
+	// ErrBundleCorrupt marks bytes that cannot be decoded or validated as
+	// a bundle at all.
+	ErrBundleCorrupt = errors.New("sched: corrupt bundle")
+)
+
 // ReproBundle is everything needed to re-trigger an exposed bug in a fresh
 // process: the kernel version, the two sequential tests, the PMC hint, and
 // the recorded trial state. Bundles are what cmd/snowboard writes next to
 // a finding and cmd/sbrepro replays.
 type ReproBundle struct {
+	Format  int            `json:"format"` // bundle layout version (BundleFormat)
 	Version kernel.Version `json:"version"`
 	Writer  *corpus.Prog   `json:"writer"`
 	Reader  *corpus.Prog   `json:"reader"`
@@ -41,8 +59,12 @@ func (b *ReproBundle) Validate() error {
 	return nil
 }
 
-// SaveBundle writes the bundle as JSON to path.
+// SaveBundle writes the bundle as JSON to path, stamping the current
+// format version when the caller left it zero.
 func SaveBundle(path string, b *ReproBundle) error {
+	if b.Format == 0 {
+		b.Format = BundleFormat
+	}
 	if err := b.Validate(); err != nil {
 		return err
 	}
@@ -53,18 +75,34 @@ func SaveBundle(path string, b *ReproBundle) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadBundle reads and validates a bundle from path.
+// LoadBundle reads and validates a bundle from path, distinguishing the
+// three failure classes: filesystem errors pass through untouched, a
+// readable JSON object with the wrong (or absent, i.e. pre-versioning)
+// format is ErrBundleStale, and undecodable or structurally invalid bytes
+// are ErrBundleCorrupt.
 func LoadBundle(path string) (*ReproBundle, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	var probe struct {
+		Format *int `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBundleCorrupt, path, err)
+	}
+	if probe.Format == nil {
+		return nil, fmt.Errorf("%w: %s has no format field (written before format %d)", ErrBundleStale, path, BundleFormat)
+	}
+	if *probe.Format != BundleFormat {
+		return nil, fmt.Errorf("%w: %s is format %d, this binary reads %d", ErrBundleStale, path, *probe.Format, BundleFormat)
+	}
 	var b ReproBundle
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("sched: bundle: %w", err)
+		return nil, fmt.Errorf("%w: %s: %v", ErrBundleCorrupt, path, err)
 	}
 	if err := b.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %s: %v", ErrBundleCorrupt, path, err)
 	}
 	return &b, nil
 }

@@ -99,3 +99,15 @@ func Replay(env *exec.Env, ct ConcurrentTest, st *ReproState, tr *trace.Trace) e
 	policy := policyFromState(st)
 	return env.RunPair(ct.Writer, ct.Reader, policy, tr)
 }
+
+// ReplayRecorded is Replay with preemption recording: it additionally
+// returns the access indices at which the replayed schedule switched
+// threads, in occurrence order. Triage builds its ddmin decision set from
+// these — every scheduler-rolled preemption is a decision that can be
+// suppressed by flipping it.
+func ReplayRecorded(env *exec.Env, ct ConcurrentTest, st *ReproState, tr *trace.Trace) (exec.Result, []int) {
+	policy := policyFromState(st)
+	policy.RecordSwitches = true
+	res := env.RunPair(ct.Writer, ct.Reader, policy, tr)
+	return res, policy.SwitchEvents
+}

@@ -75,6 +75,10 @@ const (
 	// per-cluster credits, cumulative segment coverage, pipeline cursors,
 	// and the partial report after one budget-allocation round.
 	KindFeedback
+	// KindRepro is an SBRB minimized repro bundle (triage.Encode): the
+	// self-contained, minimized, replayable artifact behind every
+	// crash-level finding's bundle digest.
+	KindRepro
 )
 
 // String names the kind for paths and diagnostics.
@@ -96,6 +100,8 @@ func (k Kind) String() string {
 		return "pmcindex"
 	case KindFeedback:
 		return "feedback"
+	case KindRepro:
+		return "repro"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }

@@ -1,0 +1,73 @@
+package triage
+
+import "snowboard/internal/corpus"
+
+// dropCall returns prog without call idx and without every later call
+// that (transitively) references a dropped call's result; remaining
+// resource references are renumbered. Refs point strictly backwards
+// (corpus.Prog.Validate), so one forward pass closes the dependency set.
+func dropCall(p *corpus.Prog, idx int) *corpus.Prog {
+	n := len(p.Calls)
+	drop := make([]bool, n)
+	drop[idx] = true
+	for i := idx + 1; i < n; i++ {
+		for _, a := range p.Calls[i].Args {
+			if a.Kind == corpus.ResultArg && a.Ref >= 0 && a.Ref < i && drop[a.Ref] {
+				drop[i] = true
+				break
+			}
+		}
+	}
+	remap := make([]int, n)
+	kept := 0
+	for i := 0; i < n; i++ {
+		remap[i] = kept
+		if !drop[i] {
+			kept++
+		}
+	}
+	out := &corpus.Prog{Calls: make([]corpus.Call, 0, kept)}
+	for i, c := range p.Calls {
+		if drop[i] {
+			continue
+		}
+		nc := corpus.Call{Nr: c.Nr, Args: append([]corpus.Arg(nil), c.Args...)}
+		for ai := range nc.Args {
+			if nc.Args[ai].Kind == corpus.ResultArg {
+				nc.Args[ai].Ref = remap[nc.Args[ai].Ref]
+			}
+		}
+		out.Calls = append(out.Calls, nc)
+	}
+	return out
+}
+
+// minimizeProg drops syscalls from p to a fixpoint, keeping each drop only
+// when test (a replay + signature check) accepts the candidate. Dropping is
+// attempted back-to-front so post-crash trailing calls go first and
+// resource producers are tried only after their dependents. The result is
+// never larger than p; test is never called once the replay budget is
+// exhausted, so p survives unshrunk in the worst case rather than wrong.
+func (m *minimizer) minimizeProg(p *corpus.Prog, test func(*corpus.Prog) bool) *corpus.Prog {
+	for changed := true; changed; {
+		changed = false
+		for i := len(p.Calls) - 1; i >= 0; i-- {
+			if m.exhausted() {
+				return p
+			}
+			cand := dropCall(p, i)
+			if len(cand.Calls) == 0 || len(cand.Calls) >= len(p.Calls) {
+				continue
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			if test(cand) {
+				p = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return p
+}

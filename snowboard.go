@@ -45,6 +45,7 @@ import (
 	"snowboard/internal/sched"
 	"snowboard/internal/store"
 	"snowboard/internal/trace"
+	"snowboard/internal/triage"
 	"snowboard/internal/vm"
 )
 
@@ -192,6 +193,7 @@ const (
 	KindPMCs     = store.KindPMCs
 	KindReport   = store.KindReport
 	KindSeries   = store.KindSeries
+	KindRepro    = store.KindRepro
 )
 
 // OpenStore opens (creating if needed) an artifact store rooted at dir.
@@ -217,6 +219,39 @@ type (
 	// ObsCampaign identifies one logical testing campaign (its trace ID).
 	ObsCampaign = obs.Campaign
 )
+
+// Triage (internal/triage): post-detection schedule/test minimization,
+// fleet-scale crash-signature dedup, and canonical SBRB repro bundles.
+type (
+	// TriageSignature is the stable crash-site + communication-channel
+	// identity findings dedup on, across trials and campaigns.
+	TriageSignature = triage.Signature
+	// TriageBundle is the canonical SBRB repro artifact replayed by
+	// `sbrepro -state <dir> -min <digest>`.
+	TriageBundle = triage.Bundle
+	// TriageStats records minimization effort and effect.
+	TriageStats = triage.Stats
+	// TriageSummary is the per-finding triage record attached to
+	// crash-level IssueRecords in a Report.
+	TriageSummary = core.TriageSummary
+	// TriageFinding is one crash-level finding to minimize.
+	TriageFinding = triage.Finding
+	// TriageOptions tunes minimization.
+	TriageOptions = triage.Options
+	// TriageResult is a minimized finding plus its signature and stats.
+	TriageResult = triage.Result
+)
+
+// MinimizeFinding delta-debugs one crash-level finding: it shrinks the
+// yield schedule and both test programs while re-replaying each candidate,
+// keeping a change only if the same crash signature recurs.
+func MinimizeFinding(env *Env, f TriageFinding, opt TriageOptions) (*TriageResult, error) {
+	return triage.Minimize(env, f, opt)
+}
+
+// DecodeReproBundle parses a canonical SBRB repro bundle, distinguishing
+// stale (format-version mismatch) from corrupt input.
+func DecodeReproBundle(data []byte) (*TriageBundle, error) { return triage.Decode(data) }
 
 // SnapshotMetrics freezes the process-wide metrics registry: every
 // counter, gauge, and stage-duration histogram the pipeline has bumped so
