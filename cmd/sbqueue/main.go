@@ -209,9 +209,20 @@ func main() {
 	}
 }
 
+// isTerminal reports whether f is attached to a character device (a real
+// terminal), as opposed to a pipe or a redirected file.
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
 // startWatch renders the live dashboard to stderr once per second until the
-// returned stop function is called.
+// returned stop function is called. On a real terminal each frame repaints
+// in place with ANSI cursor-home/clear-screen; when stderr is a pipe or a
+// log file, frames degrade to plain appending lines instead of spraying
+// escape bytes into the capture.
 func startWatch(q *queue.Queue) (stop func()) {
+	ansi := isTerminal(os.Stderr)
 	done := make(chan struct{})
 	go func() {
 		t := time.NewTicker(time.Second)
@@ -221,17 +232,21 @@ func startWatch(q *queue.Queue) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				fmt.Fprint(os.Stderr, renderWatch(q))
+				fmt.Fprint(os.Stderr, renderWatch(q, ansi))
 			}
 		}
 	}()
 	return func() { close(done) }
 }
 
-// renderWatch builds one dashboard frame: campaign identity, queue and
-// lease state, exec throughput with latency percentiles, coverage growth
-// rates, and the tail of the flight recorder.
-func renderWatch(q *queue.Queue) string {
+// renderWatch builds one dashboard frame. With ansi, the frame is the
+// full-screen dashboard prefixed by cursor-home + clear-screen so it
+// repaints in place; without, it is a single appending status line safe
+// for pipes and log files.
+func renderWatch(q *queue.Queue, ansi bool) string {
+	if !ansi {
+		return renderWatchLine(q)
+	}
 	st := q.Stats()
 	pr := obs.ProgressNow()
 	cov := obs.CoverageNow()
@@ -276,4 +291,19 @@ func renderWatch(q *queue.Queue) string {
 		fmt.Fprintf(&b, "  #%-5d %s  %s\n", ev.Seq, ev.T.Format("15:04:05"), ev.Kind)
 	}
 	return b.String()
+}
+
+// renderWatchLine is the non-TTY dashboard frame: the same vitals
+// compressed into one plain line that appends cleanly to a pipe or file.
+func renderWatchLine(q *queue.Queue) string {
+	st := q.Stats()
+	pr := obs.ProgressNow()
+	cov := obs.CoverageNow()
+	var pairs, segments int64
+	if n := len(cov.Samples); n > 0 {
+		pairs = cov.Samples[n-1].CoverPairs
+		segments = cov.Samples[n-1].CoverSegments
+	}
+	return fmt.Sprintf("watch pending=%d leased=%d done=%d dead=%d exec=%.1f/min pairs=%d segs=%d issues=%d\n",
+		st.Pending, st.Leased, st.Done, st.DeadLettered, pr.ExecPerMin, pairs, segments, pr.IssuesFound)
 }

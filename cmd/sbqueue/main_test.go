@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 	"time"
+
+	"snowboard/internal/queue"
 )
 
 func buildTool(t *testing.T, pkg string) string {
@@ -39,6 +42,59 @@ func TestSbqueueUsage(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Fatalf("usage leaked to stdout:\n%s", stdout.String())
+	}
+}
+
+func watchQueue(t *testing.T) *queue.Queue {
+	t.Helper()
+	q := queue.NewWithOptions(queue.Options{Name: "watch-test"})
+	t.Cleanup(q.Close)
+	if err := q.Push(queue.Job{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestRenderWatchTTYUsesANSI(t *testing.T) {
+	q := watchQueue(t)
+	frame := renderWatch(q, true)
+	if !strings.HasPrefix(frame, "\x1b[H\x1b[2J") {
+		t.Fatal("TTY frame does not repaint in place (missing cursor-home + clear-screen prefix)")
+	}
+	if !strings.Contains(frame, "pending=1") {
+		t.Fatalf("TTY frame missing queue state:\n%s", frame)
+	}
+}
+
+func TestRenderWatchNonTTYIsPlain(t *testing.T) {
+	// Captured to a pipe or a log file, the dashboard must degrade to a
+	// plain appending line: no escape bytes, one newline-terminated line
+	// per frame.
+	q := watchQueue(t)
+	frame := renderWatch(q, false)
+	if strings.ContainsRune(frame, '\x1b') {
+		t.Fatalf("non-TTY frame contains ANSI escapes: %q", frame)
+	}
+	if !strings.HasSuffix(frame, "\n") || strings.Count(frame, "\n") != 1 {
+		t.Fatalf("non-TTY frame is not a single appending line: %q", frame)
+	}
+	if !strings.Contains(frame, "pending=1") {
+		t.Fatalf("non-TTY frame missing queue state: %q", frame)
+	}
+}
+
+func TestIsTerminalOnPipe(t *testing.T) {
+	// Test processes run with redirected stdio; both ends of a pipe are
+	// definitively not character devices — the watch dashboard must pick
+	// plain mode for them.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	defer w.Close()
+	if isTerminal(r) || isTerminal(w) {
+		t.Fatal("isTerminal reported a pipe as a terminal")
 	}
 }
 

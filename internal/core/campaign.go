@@ -1,0 +1,779 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snowboard/internal/detect"
+	"snowboard/internal/kernel"
+	"snowboard/internal/obs"
+	"snowboard/internal/queue"
+	"snowboard/internal/sched"
+	"snowboard/internal/store"
+)
+
+// This file is the campaign control plane's core: a Campaign is one
+// tenant's pipeline run wrapped in a submit/pause/resume/status handle,
+// executing its concurrent tests through a named queue shared with every
+// other tenant and taking execution turns from a fair scheduler. cmd/sbd
+// hosts many of these behind an HTTP API; the tests in campaign_test.go
+// drive them directly.
+
+// campaignKeyPrefix versions the campaign manifest/report memo schema.
+const campaignKeyPrefix = "sbd-campaign-v1"
+
+// CampaignSpec is the JSON submission shape for one campaign: the subset
+// of Options that is serializable and safe to accept over the wire (the
+// method travels by name, the kernel version as a string). The canonical
+// manifest encoding of the defaulted spec is the campaign's identity:
+// submitting byte-equivalent work twice yields the same campaign ID.
+type CampaignSpec struct {
+	Name           string `json:"name,omitempty"`    // display name (defaults to the method)
+	Version        string `json:"version"`           // simulated kernel version
+	Method         string `json:"method"`            // generation method name (core.Methods)
+	Seed           int64  `json:"seed"`              // deterministic seed
+	FuzzBudget     int    `json:"fuzz_budget"`       // stage-1 sequential executions
+	CorpusCap      int    `json:"corpus_cap"`        // stage-1 corpus size cap
+	TestBudget     int    `json:"test_budget"`       // stage-4 concurrent tests
+	Trials         int    `json:"trials"`            // interleaving trials per test
+	Workers        int    `json:"workers,omitempty"` // local-stage fan-out (0 = per CPU)
+	Feedback       bool   `json:"feedback,omitempty"`
+	FeedbackRounds int    `json:"feedback_rounds,omitempty"`
+}
+
+// WithDefaults fills unset fields from DefaultOptions.
+func (s CampaignSpec) WithDefaults() CampaignSpec {
+	d := DefaultOptions()
+	if s.Version == "" {
+		s.Version = string(d.Version)
+	}
+	if s.Method == "" {
+		s.Method = d.Method.Name
+	}
+	if s.Name == "" {
+		s.Name = s.Method
+	}
+	if s.Seed == 0 {
+		s.Seed = d.Seed
+	}
+	if s.FuzzBudget <= 0 {
+		s.FuzzBudget = d.FuzzBudget
+	}
+	if s.CorpusCap <= 0 {
+		s.CorpusCap = d.CorpusCap
+	}
+	if s.TestBudget <= 0 {
+		s.TestBudget = d.TestBudget
+	}
+	if s.Trials <= 0 {
+		s.Trials = d.Trials
+	}
+	return s
+}
+
+// Validate rejects specs that cannot build Options. Call on the defaulted
+// spec.
+func (s CampaignSpec) Validate() error {
+	if _, ok := MethodByName(s.Method); !ok {
+		return fmt.Errorf("campaign: unknown method %q", s.Method)
+	}
+	if s.FuzzBudget <= 0 || s.TestBudget <= 0 || s.Trials <= 0 {
+		return fmt.Errorf("campaign: budgets must be positive (fuzz=%d tests=%d trials=%d)",
+			s.FuzzBudget, s.TestBudget, s.Trials)
+	}
+	return nil
+}
+
+// Manifest returns the canonical JSON encoding of the defaulted spec —
+// the durable, content-addressed submission record (store.KindCampaign).
+func (s CampaignSpec) Manifest() ([]byte, error) {
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(s)
+}
+
+// ID derives the campaign's identity from its manifest: a short digest,
+// stable across submissions and server restarts.
+func (s CampaignSpec) ID() (string, error) {
+	m, err := s.Manifest()
+	if err != nil {
+		return "", err
+	}
+	return store.Key(campaignKeyPrefix, string(m)).Short(), nil
+}
+
+// BuildOptions converts the spec into pipeline Options rooted at stateDir.
+func (s CampaignSpec) BuildOptions(stateDir string) (Options, error) {
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return Options{}, err
+	}
+	m, _ := MethodByName(s.Method)
+	o := DefaultOptions()
+	o.Version = kernel.Version(s.Version)
+	o.Seed = s.Seed
+	o.FuzzBudget = s.FuzzBudget
+	o.CorpusCap = s.CorpusCap
+	o.Method = m
+	o.TestBudget = s.TestBudget
+	o.Trials = s.Trials
+	o.Workers = s.Workers
+	o.Feedback = s.Feedback
+	o.FeedbackRounds = s.FeedbackRounds
+	o.StateDir = stateDir
+	return o, nil
+}
+
+// TurnScheduler hands out execution turns fairly across campaigns: FIFO
+// admission with at most slots concurrent holders. Each campaign acquires
+// a turn, executes a bounded slice of jobs, and releases; because
+// finishers rejoin the tail of the line, steady-state service order is
+// round-robin and per-campaign throughput stays within a small factor at
+// equal budgets, no matter how many tenants pile on.
+type TurnScheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	slots   int
+	busy    int
+	waiting []string
+}
+
+// NewTurnScheduler returns a scheduler admitting slots concurrent turns
+// (minimum 1).
+func NewTurnScheduler(slots int) *TurnScheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	t := &TurnScheduler{slots: slots}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Acquire blocks until id reaches the head of the line and a slot frees.
+func (t *TurnScheduler) Acquire(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.waiting = append(t.waiting, id)
+	for t.busy >= t.slots || t.waiting[0] != id {
+		t.cond.Wait()
+	}
+	t.waiting = t.waiting[1:]
+	t.busy++
+	t.cond.Broadcast()
+}
+
+// Release returns the slot taken by Acquire.
+func (t *TurnScheduler) Release() {
+	t.mu.Lock()
+	t.busy--
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// CampaignEnv is the shared control-plane context a campaign runs in: the
+// artifact store root (durability), the multi-queue registry plus its TCP
+// address (job distribution over the real wire), and the fair turn
+// scheduler. One env is shared by every campaign on a server.
+type CampaignEnv struct {
+	StateDir string          // artifact store root ("" = memory only, no resume)
+	Registry *queue.Registry // named per-campaign queues (required)
+	Addr     string          // the registry listener's TCP address ("" = lease in-process)
+	Slice    int             // jobs executed per fair-scheduler turn (default 4)
+	Retries  int             // queue-client reconnect budget (default 8)
+
+	// Turns, when set, arbitrates execution fairly across campaigns; nil
+	// lets every campaign run unthrottled.
+	Turns *TurnScheduler
+
+	// Dial overrides the queue client transport (chaos tests inject
+	// FlakyDialer); nil uses plain TCP. Only used when Addr is set.
+	Dial func(addr string) (net.Conn, error)
+
+	// ExecGate, when set, is a start barrier: every campaign blocks here
+	// after pushing its jobs and before executing the first one, so
+	// fairness tests measure campaigns that began together.
+	ExecGate <-chan struct{}
+
+	// Fault, when set, simulates a worker crash: a true return abandons
+	// the lease for (jobID, attempt) without acking, leaving redelivery to
+	// the lease reaper.
+	Fault func(jobID, attempt int) bool
+}
+
+func (e CampaignEnv) slice() int {
+	if e.Slice <= 0 {
+		return 4
+	}
+	return e.Slice
+}
+
+func (e CampaignEnv) retries() int {
+	if e.Retries <= 0 {
+		return 8
+	}
+	return e.Retries
+}
+
+// Campaign states.
+const (
+	CampaignPending = "pending"
+	CampaignRunning = "running"
+	CampaignPaused  = "paused"
+	CampaignDone    = "done"
+	CampaignFailed  = "failed"
+)
+
+// Campaign is one running (or finished) tenant: spec, identity, live
+// progress counters, and the pause/resume gate. All methods are safe for
+// concurrent use.
+type Campaign struct {
+	Spec  CampaignSpec // defaulted spec
+	ID    string       // manifest digest (short)
+	Trace string       // flight-recorder trace ID
+
+	env      CampaignEnv
+	manifest []byte
+	scope    obs.Scope
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  string
+	paused bool
+	err    error
+	report *Report
+
+	expected  atomic.Int64 // jobs pushed for execution
+	executed  atomic.Int64 // jobs this campaign's executor settled
+	exercised atomic.Int64
+	dead      atomic.Int64
+
+	done chan struct{}
+}
+
+// CampaignStatus is the JSON progress snapshot served at /campaigns.
+type CampaignStatus struct {
+	ID          string       `json:"id"`
+	Name        string       `json:"name"`
+	Trace       string       `json:"trace"`
+	State       string       `json:"state"`
+	Expected    int64        `json:"expected_jobs"`
+	Executed    int64        `json:"executed"`
+	Exercised   int64        `json:"exercised"`
+	DeadLetters int64        `json:"dead_letters"`
+	Issues      int          `json:"issues"`
+	QueueDepth  int64        `json:"queue_depth"`
+	ExecPerMin  float64      `json:"exec_per_min"`
+	Error       string       `json:"error,omitempty"`
+	Distributed *DistSummary `json:"distributed,omitempty"`
+}
+
+// StartCampaign validates, registers, and launches a campaign in env; the
+// returned handle is live immediately. With a state dir, the manifest is
+// persisted as a KindCampaign artifact so a restarted server can
+// re-enumerate and resume every submission, and the finished report is
+// memoized so a completed campaign resumes byte-identically without
+// re-executing.
+func StartCampaign(spec CampaignSpec, env CampaignEnv) (*Campaign, error) {
+	if env.Registry == nil {
+		return nil, errors.New("campaign: env.Registry is required")
+	}
+	spec = spec.WithDefaults()
+	manifest, err := spec.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	id := store.Key(campaignKeyPrefix, string(manifest)).Short()
+	if env.StateDir != "" {
+		st, err := store.Open(env.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := st.Put(store.KindCampaign, manifest); err != nil {
+			return nil, fmt.Errorf("campaign: persist manifest: %w", err)
+		}
+	}
+	oc := obs.StartCampaign(spec.Name + "/" + id)
+	c := &Campaign{
+		Spec:     spec,
+		ID:       id,
+		Trace:    oc.Trace,
+		env:      env,
+		manifest: manifest,
+		scope:    obs.CampaignScope(id),
+		state:    CampaignPending,
+		done:     make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.run()
+	return c, nil
+}
+
+// LoadCampaignSpecs enumerates the persisted campaign manifests under
+// stateDir — what a restarted control plane resubmits to resume every
+// in-flight campaign.
+func LoadCampaignSpecs(stateDir string) ([]CampaignSpec, error) {
+	st, err := store.Open(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	var specs []CampaignSpec
+	for _, d := range st.List(store.KindCampaign) {
+		payload, err := st.Get(store.KindCampaign, d)
+		if err != nil {
+			obs.Diag.Printf("campaign: skipping unreadable manifest %s: %v", d.Short(), err)
+			continue
+		}
+		var s CampaignSpec
+		if err := json.Unmarshal(payload, &s); err != nil {
+			obs.Diag.Printf("campaign: skipping undecodable manifest %s: %v", d.Short(), err)
+			continue
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// Pause stops the campaign at its next checkpoint (between stages, or
+// between execution slices); jobs already leased finish first.
+func (c *Campaign) Pause() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == CampaignRunning || c.state == CampaignPending {
+		c.paused = true
+		c.state = CampaignPaused
+	}
+}
+
+// Resume lifts a Pause.
+func (c *Campaign) Resume() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.paused {
+		c.paused = false
+		c.state = CampaignRunning
+		c.cond.Broadcast()
+	}
+}
+
+// gate blocks while the campaign is paused.
+func (c *Campaign) gate() {
+	c.mu.Lock()
+	for c.paused {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Done is closed when the campaign finishes (or fails).
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the campaign finishes and returns its report.
+func (c *Campaign) Wait() (*Report, error) {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.report, c.err
+}
+
+// Report returns the finished report (nil until done).
+func (c *Campaign) Report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.report
+}
+
+// Executed returns the number of jobs this campaign's executor settled so
+// far — the counter fairness tests sample.
+func (c *Campaign) Executed() int64 { return c.executed.Load() }
+
+// QueueName returns the campaign's queue name in the shared registry.
+func (c *Campaign) QueueName() string { return "campaign." + c.ID }
+
+// Status snapshots live progress.
+func (c *Campaign) Status() CampaignStatus {
+	c.mu.Lock()
+	state, err, r := c.state, c.err, c.report
+	c.mu.Unlock()
+	st := CampaignStatus{
+		ID:          c.ID,
+		Name:        c.Spec.Name,
+		Trace:       c.Trace,
+		State:       state,
+		Expected:    c.expected.Load(),
+		Executed:    c.executed.Load(),
+		Exercised:   c.exercised.Load(),
+		DeadLetters: c.dead.Load(),
+		ExecPerMin:  float64(c.scope.C("exec.tests").Value()),
+	}
+	if q := c.env.Registry.Get(c.QueueName()); q != nil {
+		st.QueueDepth = int64(q.Stats().Pending)
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	if r != nil {
+		st.Issues = len(r.Issues)
+		st.Distributed = r.Distributed
+		if r.Distributed != nil {
+			st.Issues = len(r.Distributed.BugIDs)
+		}
+	}
+	return st
+}
+
+func (c *Campaign) setState(s string) {
+	c.mu.Lock()
+	if !c.paused || s == CampaignDone || s == CampaignFailed {
+		c.state = s
+	}
+	c.mu.Unlock()
+}
+
+func (c *Campaign) finish(r *Report, err error) {
+	c.mu.Lock()
+	c.report, c.err = r, err
+	if err != nil {
+		c.state = CampaignFailed
+	} else {
+		c.state = CampaignDone
+	}
+	c.paused = false
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	attrs := []obs.Attr{obs.A("campaign", c.ID)}
+	if err != nil {
+		attrs = append(attrs, obs.A("error", err.Error()))
+	}
+	obs.EmitTrace(c.Trace, obs.EvCampaignDone, attrs...)
+	close(c.done)
+}
+
+// reportKey memoizes the whole campaign: same manifest, same report.
+func (c *Campaign) reportKey() store.Digest {
+	return store.Key(campaignKeyPrefix, "report", string(c.manifest))
+}
+
+func (c *Campaign) loadReport(st *store.Store) (*Report, bool) {
+	sr, err := st.GetStage(c.reportKey())
+	if err != nil {
+		return nil, false
+	}
+	payload, err := st.Get(store.KindReport, sr.Out)
+	if err != nil {
+		return nil, false
+	}
+	var r Report
+	if err := json.Unmarshal(payload, &r); err != nil {
+		obs.Diag.Printf("campaign %s: discarding undecodable report memo: %v", c.ID, err)
+		return nil, false
+	}
+	if r.Issues == nil {
+		r.Issues = make(map[int]IssueRecord)
+	}
+	return &r, true
+}
+
+func (c *Campaign) saveReport(st *store.Store, r *Report) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		obs.Diag.Printf("campaign %s: encode report: %v", c.ID, err)
+		return
+	}
+	d, err := st.Put(store.KindReport, payload)
+	if err != nil {
+		obs.Diag.Printf("campaign %s: persist report: %v", c.ID, err)
+		return
+	}
+	if err := st.PutStage(c.reportKey(), store.StageResult{Kind: store.KindReport, Out: d}); err != nil {
+		obs.Diag.Printf("campaign %s: persist report memo: %v", c.ID, err)
+	}
+}
+
+// run is the campaign goroutine: local stages 1–3 (memoized through the
+// shared store), then stage 4 through the campaign's named queue under
+// the fair scheduler. The finished report is memoized campaign-level, so
+// a restarted server resumes completed campaigns byte-identically and
+// in-flight ones re-run only what the stage memos don't cover.
+func (c *Campaign) run() {
+	c.gate()
+	c.setState(CampaignRunning)
+
+	opts, err := c.Spec.BuildOptions(c.env.StateDir)
+	if err != nil {
+		c.finish(nil, err)
+		return
+	}
+	p := NewPipeline(opts)
+	var st *store.Store
+	if c.env.StateDir != "" {
+		st, err = store.Open(c.env.StateDir)
+		if err != nil {
+			c.finish(nil, err)
+			return
+		}
+		p.UseStore(st)
+		if r, ok := c.loadReport(st); ok {
+			// The whole campaign is memoized: resume instantly with the
+			// stored report, byte-for-byte what the uninterrupted run wrote.
+			c.expected.Store(int64(c.Spec.TestBudget))
+			c.executed.Store(int64(c.Spec.TestBudget))
+			c.finish(r, nil)
+			return
+		}
+	}
+
+	r := p.NewReport()
+	p.BuildCorpus(r)
+	c.gate()
+	if err := p.ProfileAll(r); err != nil {
+		c.finish(nil, err)
+		return
+	}
+	c.gate()
+	p.IdentifyPMCs(r)
+	c.gate()
+
+	if c.Spec.Feedback {
+		// Feedback interleaves generation and execution round by round;
+		// its budget allocation depends on each round's results, so it
+		// cannot ship as a static job set. It runs locally (stage memos
+		// still checkpoint each round) and only stage-4 distribution is
+		// skipped.
+		p.RunFeedback(r, opts.TestBudget)
+		p.TriageReport(r)
+	} else if err := c.runDistributed(p, r, opts); err != nil {
+		c.finish(nil, err)
+		return
+	}
+
+	// Metrics deliberately stay uncaptured: the obs registry is shared by
+	// every tenant and varies run to run, and the campaign report memo
+	// must be byte-identical across resumes.
+	if st != nil {
+		c.saveReport(st, r)
+	}
+	c.finish(r, nil)
+}
+
+// runDistributed pushes the generated tests onto the campaign's named
+// queue and executes them through the control plane's own wire path,
+// taking fair-scheduler turns between slices.
+func (c *Campaign) runDistributed(p *Pipeline, r *Report, opts Options) error {
+	cts := p.GenerateTests(r, opts.TestBudget)
+	q := c.env.Registry.Open(c.QueueName())
+	corpusDigest := ""
+	if p.store != nil {
+		corpusDigest, _, _ = p.ArtifactDigests()
+	}
+	for i, ct := range cts {
+		job := queue.Job{ID: i, Hint: ct.Hint, Pair: ct.Pair, Trace: c.Trace}
+		if corpusDigest != "" {
+			job.Corpus = corpusDigest
+		} else {
+			job.Writer, job.Reader = ct.Writer, ct.Reader
+		}
+		if err := q.Push(job); err != nil {
+			return fmt.Errorf("campaign %s: push job %d: %w", c.ID, i, err)
+		}
+	}
+	c.expected.Store(int64(len(cts)))
+
+	lsr, err := c.dialLeaser(q)
+	if err != nil {
+		return err
+	}
+	defer lsr.Close()
+
+	if c.env.ExecGate != nil {
+		<-c.env.ExecGate
+	}
+	c.executeLoop(p, q, lsr)
+
+	// Every job settled (acked or dead-lettered): fold results exactly
+	// once per job — redelivered duplicates are byte-identical (seeds
+	// derive from job IDs) and discarded — and surface dead letters.
+	sum := AggregateResults(len(cts), q.Results(), q.DeadLetters())
+	r.Distributed = &sum
+	c.dead.Store(int64(len(sum.DeadJobs)))
+	if sum.Lost() {
+		return fmt.Errorf("campaign %s: jobs neither reported nor dead-lettered: %v", c.ID, sum.Missing)
+	}
+	return nil
+}
+
+// jobLeaser abstracts where the executor leases from: the registry
+// listener over TCP (the production path, chaos-injectable via env.Dial)
+// or the in-process queue when the env has no listener.
+type jobLeaser interface {
+	Lease() (queue.Lease, error)
+	Ack(id uint64) error
+	Nack(id uint64, reason string) error
+	Extend(id uint64, d time.Duration) (time.Time, error)
+	Report(res queue.JobResult) error
+	Close() error
+}
+
+type localLeaser struct{ q *queue.Queue }
+
+func (l localLeaser) Lease() (queue.Lease, error)         { return l.q.TryLease() }
+func (l localLeaser) Ack(id uint64) error                 { return l.q.Ack(id) }
+func (l localLeaser) Nack(id uint64, reason string) error { return l.q.Nack(id, reason) }
+func (l localLeaser) Extend(id uint64, d time.Duration) (time.Time, error) {
+	return l.q.Extend(id, d)
+}
+func (l localLeaser) Report(res queue.JobResult) error { return l.q.Report(res) }
+func (l localLeaser) Close() error                     { return nil }
+
+// keepLease extends a lease at half-TTL intervals until stopped, so
+// explorations longer than the queue's lease timeout are not reaped out
+// from under a live executor (mirrors sbexec).
+func keepLease(lsr jobLeaser, ls queue.Lease) (stop func()) {
+	ttl := time.Until(ls.Deadline)
+	if ttl < 20*time.Millisecond {
+		ttl = 20 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(ttl / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if _, err := lsr.Extend(ls.ID, 0); err != nil {
+					// Lease gone (expired or settled); the fold dedups.
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+func (c *Campaign) dialLeaser(q *queue.Queue) (jobLeaser, error) {
+	if c.env.Addr == "" {
+		return localLeaser{q: q}, nil
+	}
+	cl, err := queue.DialOpts(c.env.Addr, queue.DialOptions{
+		Queue:      c.QueueName(),
+		MaxRetries: c.env.retries(),
+		Dial:       c.env.Dial,
+		Seed:       c.Spec.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: dial queue: %w", c.ID, err)
+	}
+	return cl, nil
+}
+
+// executeLoop drains the campaign's queue in fair-scheduler slices until
+// every job is settled. Exploration mirrors sbexec: per-job seeds derive
+// from the job ID alone, so redelivery — to this executor or a future
+// incarnation after a restart — reproduces byte-identical results.
+func (c *Campaign) executeLoop(p *Pipeline, q *queue.Queue, lsr jobLeaser) {
+	env := p.Env
+	x := &sched.Explorer{
+		Env:    env,
+		Trials: c.Spec.Trials,
+		Mode:   sched.ModeSnowboard,
+		Detect: detect.DefaultOptions(),
+		Fsck:   func() []string { return env.K.FsckHost() },
+		Trace:  c.Trace,
+	}
+	mExec := c.scope.C("exec.tests")
+	mFaults := c.scope.C("exec.faults")
+	slice := c.env.slice()
+	for {
+		st := q.Stats()
+		if st.Pending == 0 && st.Leased == 0 {
+			return
+		}
+		c.gate()
+		if c.env.Turns != nil {
+			c.env.Turns.Acquire(c.ID)
+		}
+		for i := 0; i < slice; i++ {
+			ls, err := lsr.Lease()
+			if errors.Is(err, queue.ErrEmpty) || errors.Is(err, queue.ErrClosed) {
+				break
+			}
+			if err != nil {
+				obs.Diag.Printf("campaign %s: lease: %v", c.ID, err)
+				break
+			}
+			c.executeJob(p, x, lsr, ls, mExec, mFaults)
+		}
+		if c.env.Turns != nil {
+			c.env.Turns.Release()
+		}
+		st = q.Stats()
+		if st.Pending == 0 && st.Leased > 0 {
+			// Stragglers: abandoned (Fault-injected) leases waiting for the
+			// reaper. Yield until they redeliver or dead-letter.
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func (c *Campaign) executeJob(p *Pipeline, x *sched.Explorer, lsr jobLeaser, ls queue.Lease, mExec, mFaults *obs.Counter) {
+	job := ls.Job
+	if c.env.Fault != nil && c.env.Fault(job.ID, ls.Attempt) {
+		// Simulated worker crash: walk away mid-lease. The reaper expires
+		// it and the job redelivers (or dead-letters) — never vanishes.
+		mFaults.Inc()
+		return
+	}
+	if !job.Inline() {
+		// By-reference job: the executor shares the pipeline's in-memory
+		// corpus, no store round-trip needed.
+		if err := job.Resolve(p.Corpus); err != nil {
+			if nerr := lsr.Nack(ls.ID, err.Error()); nerr != nil && !errors.Is(nerr, queue.ErrUnknownLease) {
+				obs.Diag.Printf("campaign %s: nack job %d: %v", c.ID, job.ID, nerr)
+			}
+			return
+		}
+	}
+	stopKeep := keepLease(lsr, ls)
+	x.Seed = int64(job.ID)*1009 + 1
+	out := x.Explore(sched.ConcurrentTest{
+		Writer: job.Writer, Reader: job.Reader, Hint: job.Hint, Pair: job.Pair,
+	})
+	stopKeep()
+	res := queue.JobResult{
+		JobID:     job.ID,
+		Trials:    out.Trials,
+		Exercised: out.Exercised,
+		Worker:    "sbd/" + c.ID,
+	}
+	for _, is := range out.Issues {
+		res.IssueIDs = append(res.IssueIDs, is.ID())
+		if is.BugID != 0 {
+			res.BugIDs = append(res.BugIDs, is.BugID)
+		}
+	}
+	if err := lsr.Report(res); err != nil {
+		obs.Diag.Printf("campaign %s: report job %d: %v — nacking", c.ID, job.ID, err)
+		if nerr := lsr.Nack(ls.ID, "report failed: "+err.Error()); nerr != nil && !errors.Is(nerr, queue.ErrUnknownLease) {
+			obs.Diag.Printf("campaign %s: nack job %d: %v", c.ID, job.ID, nerr)
+		}
+		return
+	}
+	if err := lsr.Ack(ls.ID); err != nil && !errors.Is(err, queue.ErrUnknownLease) {
+		// ErrUnknownLease is benign: the lease expired and the job was
+		// redelivered; the fold deduplicates by job ID.
+		obs.Diag.Printf("campaign %s: ack job %d: %v", c.ID, job.ID, err)
+	}
+	c.executed.Add(1)
+	if out.Exercised {
+		c.exercised.Add(1)
+	}
+	mExec.Inc()
+}

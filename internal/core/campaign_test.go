@@ -1,0 +1,302 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"snowboard/internal/queue"
+)
+
+// smallSpec returns a campaign small enough for unit tests while still
+// exercising every stage.
+func smallSpec(name string, seed int64) CampaignSpec {
+	return CampaignSpec{
+		Name:       name,
+		Seed:       seed,
+		FuzzBudget: 60,
+		CorpusCap:  20,
+		TestBudget: 6,
+		Trials:     4,
+		Workers:    2,
+	}
+}
+
+func TestCampaignSpecIdentity(t *testing.T) {
+	s := CampaignSpec{}
+	d := s.WithDefaults()
+	if d.Method == "" || d.Version == "" || d.TestBudget <= 0 {
+		t.Fatalf("WithDefaults left holes: %+v", d)
+	}
+	id1, err := s.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := d.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("defaulting changed the identity: %s vs %s", id1, id2)
+	}
+	if len(id1) != 12 {
+		t.Fatalf("ID %q is not a short digest", id1)
+	}
+	other := smallSpec("x", 2)
+	id3, err := other.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Fatal("distinct specs share an ID")
+	}
+	if _, err := (CampaignSpec{Method: "NOPE"}).ID(); err == nil {
+		t.Fatal("unknown method validated")
+	}
+}
+
+func TestTurnSchedulerFIFOFairness(t *testing.T) {
+	// Three contenders taking repeated turns through one slot must be
+	// served round-robin: no contender takes two turns while another
+	// waits.
+	ts := NewTurnScheduler(1)
+	// Hold the only slot until all three contenders are in line, so every
+	// recorded turn is contended (otherwise a fast starter races through
+	// its rounds before the others join).
+	ts.Acquire("gate")
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	const rounds = 5
+	for _, id := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ts.Acquire(id)
+				mu.Lock()
+				order = append(order, id)
+				mu.Unlock()
+				ts.Release()
+			}
+		}(id)
+	}
+	for {
+		ts.mu.Lock()
+		n := len(ts.waiting)
+		ts.mu.Unlock()
+		if n == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts.Release()
+	wg.Wait()
+	if len(order) != 3*rounds {
+		t.Fatalf("%d turns taken, want %d", len(order), 3*rounds)
+	}
+	// FIFO re-admission means round-robin while all three contend: within
+	// any window of 3 consecutive turns, no id may appear three times —
+	// that would be one contender monopolizing the slot past its turn.
+	for i := 0; i+3 <= len(order); i++ {
+		w := order[i : i+3]
+		counts := map[string]int{}
+		for _, id := range w {
+			counts[id]++
+		}
+		for id, n := range counts {
+			if n == 3 {
+				t.Fatalf("contender %s monopolized window %v (full order %v)", id, w, order)
+			}
+		}
+	}
+}
+
+func TestCampaignRunsToCompletion(t *testing.T) {
+	reg := queue.NewRegistry(queue.Options{})
+	defer reg.Close()
+	c, err := StartCampaign(smallSpec("unit", 1), CampaignEnv{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distributed == nil {
+		t.Fatal("campaign report has no distributed summary")
+	}
+	sum := r.Distributed
+	if sum.Reported != sum.Expected || sum.Expected == 0 {
+		t.Fatalf("reported %d of %d jobs", sum.Reported, sum.Expected)
+	}
+	if sum.Lost() {
+		t.Fatalf("lost jobs: %v", sum.Missing)
+	}
+	st := c.Status()
+	if st.State != CampaignDone || st.Executed != int64(sum.Expected) {
+		t.Fatalf("status = %+v, want done with %d executed", st, sum.Expected)
+	}
+	if st.Trace == "" || st.ID != c.ID {
+		t.Fatalf("status identity incomplete: %+v", st)
+	}
+}
+
+func TestCampaignPauseResume(t *testing.T) {
+	reg := queue.NewRegistry(queue.Options{})
+	defer reg.Close()
+	c, err := StartCampaign(smallSpec("pausable", 3), CampaignEnv{Registry: reg, Slice: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Pause()
+	// While paused the executor stops at the next slice boundary: the
+	// executed counter must go flat.
+	settleCampaign(t, c, func() bool { return true })
+	before := c.Executed()
+	time.Sleep(50 * time.Millisecond)
+	if got := c.Executed(); got > before+1 {
+		t.Fatalf("executed advanced %d -> %d while paused", before, got)
+	}
+	if st := c.Status(); st.State != CampaignPaused && st.State != CampaignDone {
+		t.Fatalf("state while paused = %q", st.State)
+	}
+	c.Resume()
+	r, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distributed == nil || r.Distributed.Lost() {
+		t.Fatalf("resume lost work: %+v", r.Distributed)
+	}
+}
+
+// settleCampaign waits briefly for cond (helper for timing-tolerant
+// assertions that don't gate correctness).
+func settleCampaign(t *testing.T, c *Campaign, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCampaignReportMemoByteIdentical(t *testing.T) {
+	// The same spec against the same state dir must produce byte-identical
+	// report JSON — the second run resumes from the campaign-level memo
+	// without executing anything.
+	dir := t.TempDir()
+	spec := smallSpec("memo", 7)
+
+	run := func() ([]byte, *Campaign) {
+		reg := queue.NewRegistry(queue.Options{})
+		defer reg.Close()
+		c, err := StartCampaign(spec, CampaignEnv{Registry: reg, StateDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return payload, c
+	}
+
+	first, c1 := run()
+	second, c2 := run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("resumed report differs from the original:\n%s\nvs\n%s", first, second)
+	}
+	if c1.ID != c2.ID {
+		t.Fatalf("same spec, different IDs: %s vs %s", c1.ID, c2.ID)
+	}
+	// The memoized resume executed nothing: its queue was never opened.
+	if c2.Status().QueueDepth != 0 {
+		t.Fatal("memoized resume touched the queue")
+	}
+
+	// The manifest is persisted for restart enumeration.
+	specs, err := LoadCampaignSpecs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("state dir holds %d campaign manifests, want 1", len(specs))
+	}
+	gotID, err := specs[0].ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != c1.ID {
+		t.Fatalf("persisted manifest resolves to %s, want %s", gotID, c1.ID)
+	}
+}
+
+func TestCampaignFaultInjectionLosesNothing(t *testing.T) {
+	// Simulated worker crashes (abandoned leases) on every job's first
+	// delivery: the reaper redelivers each one and the campaign still
+	// settles every job exactly once.
+	reg := queue.NewRegistry(queue.Options{
+		LeaseTimeout: 100 * time.Millisecond,
+		MaxAttempts:  5,
+	})
+	defer reg.Close()
+	c, err := StartCampaign(smallSpec("crashy", 5), CampaignEnv{
+		Registry: reg,
+		Fault:    func(jobID, attempt int) bool { return attempt == 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Distributed
+	if sum == nil {
+		t.Fatal("no distributed summary")
+	}
+	if sum.Reported != sum.Expected || sum.Lost() || len(sum.DeadJobs) != 0 {
+		t.Fatalf("crash-injected campaign did not settle cleanly: %+v", sum)
+	}
+	// Exactly-once fold: the executed counter counts settled jobs, never
+	// the abandoned first deliveries.
+	if c.Executed() != int64(sum.Expected) {
+		t.Fatalf("executed %d, want %d (double-counted redeliveries?)", c.Executed(), sum.Expected)
+	}
+}
+
+func TestCampaignFaultResultsAreDeterministic(t *testing.T) {
+	// Redelivered jobs must report byte-identical results: a crashy run's
+	// aggregate equals an undisturbed run's.
+	clean := func(fault func(int, int) bool, lease time.Duration) DistSummary {
+		reg := queue.NewRegistry(queue.Options{LeaseTimeout: lease, MaxAttempts: 6})
+		defer reg.Close()
+		c, err := StartCampaign(smallSpec("det", 9), CampaignEnv{Registry: reg, Fault: fault})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := *r.Distributed
+		// Duplicates counts redeliveries — the only legitimately
+		// nondeterministic field under fault injection.
+		sum.Duplicates = 0
+		return sum
+	}
+	undisturbed := clean(nil, 0)
+	crashy := clean(func(jobID, attempt int) bool { return attempt == 1 && jobID%2 == 0 }, 80*time.Millisecond)
+	a, _ := json.Marshal(undisturbed)
+	b, _ := json.Marshal(crashy)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fault injection changed results:\n%s\nvs\n%s", a, b)
+	}
+}

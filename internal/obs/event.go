@@ -160,12 +160,23 @@ func (l *EventLog) Seq() uint64 {
 // than n, in ascending sequence order. Events older than the ring capacity
 // are gone; the caller pages with the last returned Seq.
 func (l *EventLog) Since(n uint64) []Event {
+	return l.sinceWhere(n, nil)
+}
+
+// SinceTrace is Since restricted to one campaign's events: only entries
+// whose Trace matches are returned. Sequence numbers stay process-wide, so
+// a per-campaign reader pages with the same cursor discipline as Since.
+func (l *EventLog) SinceTrace(trace string, n uint64) []Event {
+	return l.sinceWhere(n, func(ev *Event) bool { return ev.Trace == trace })
+}
+
+func (l *EventLog) sinceWhere(n uint64, keep func(*Event) bool) []Event {
 	if l == nil {
 		return nil
 	}
 	out := make([]Event, 0, len(l.ring))
 	for i := range l.ring {
-		if ev := l.ring[i].Load(); ev != nil && ev.Seq > n {
+		if ev := l.ring[i].Load(); ev != nil && ev.Seq > n && (keep == nil || keep(ev)) {
 			out = append(out, *ev)
 		}
 	}
@@ -194,6 +205,55 @@ type Campaign struct {
 
 var campaignPtr atomic.Pointer[Campaign]
 
+// The campaign registry: every campaign started in this process, in start
+// order. One process used to mean one campaign (the campaignPtr
+// singleton); a multi-tenant control plane runs many at once, each with
+// its own trace, and this registry is what lets readers enumerate them
+// and scope the shared flight recorder per campaign (SinceTrace).
+var (
+	campaignsMu sync.Mutex
+	campaignSet []Campaign
+)
+
+func registerCampaign(c Campaign) {
+	campaignsMu.Lock()
+	campaignSet = append(campaignSet, c)
+	campaignsMu.Unlock()
+}
+
+// StartCampaign starts — and registers — a new campaign with a fresh
+// trace ID, regardless of whether one is already running. Unlike
+// EnsureCampaign it never joins an existing campaign: each call is a new
+// tenant. The first campaign started in the process also becomes the
+// default for Emit's trace stitching.
+func StartCampaign(name string) Campaign {
+	c := Campaign{Trace: NewTraceID(), Name: name, StartedAt: time.Now()}
+	registerCampaign(c)
+	campaignPtr.CompareAndSwap(nil, &c)
+	EmitTrace(c.Trace, EvCampaignStart, A("campaign", name), A("trace", c.Trace))
+	return c
+}
+
+// Campaigns returns every campaign started in this process, in start
+// order.
+func Campaigns() []Campaign {
+	campaignsMu.Lock()
+	defer campaignsMu.Unlock()
+	return append([]Campaign(nil), campaignSet...)
+}
+
+// CampaignByTrace resolves a registered campaign by its trace ID.
+func CampaignByTrace(trace string) (Campaign, bool) {
+	campaignsMu.Lock()
+	defer campaignsMu.Unlock()
+	for _, c := range campaignSet {
+		if c.Trace == trace {
+			return c, true
+		}
+	}
+	return Campaign{}, false
+}
+
 // NewTraceID returns a fresh 16-hex-character trace ID. Trace IDs are
 // process-random, never derived from the deterministic seed: they identify
 // a *run*, and deliberately stay out of reports so reports remain
@@ -217,6 +277,7 @@ func EnsureCampaign(name string) Campaign {
 	if !campaignPtr.CompareAndSwap(nil, c) {
 		return *campaignPtr.Load()
 	}
+	registerCampaign(*c)
 	Emit(EvCampaignStart, A("campaign", name), A("trace", c.Trace))
 	return *c
 }

@@ -208,6 +208,63 @@ func TestEnsureCampaignSingleton(t *testing.T) {
 	}
 }
 
+func TestStartCampaignMultiTenant(t *testing.T) {
+	// Unlike EnsureCampaign, StartCampaign never joins an existing
+	// campaign: a control plane hosting many tenants gets a fresh trace
+	// per call, and every campaign lands in the process registry.
+	before := len(Campaigns())
+	a := StartCampaign("tenant-a")
+	b := StartCampaign("tenant-b")
+	if a.Trace == "" || b.Trace == "" {
+		t.Fatal("campaign without a trace ID")
+	}
+	if a.Trace == b.Trace {
+		t.Fatalf("StartCampaign reused trace %s", a.Trace)
+	}
+	all := Campaigns()
+	if len(all) != before+2 {
+		t.Fatalf("registry grew by %d campaigns, want 2", len(all)-before)
+	}
+	if all[len(all)-2].Trace != a.Trace || all[len(all)-1].Trace != b.Trace {
+		t.Fatal("registry is not in start order")
+	}
+	got, ok := CampaignByTrace(b.Trace)
+	if !ok || got.Name != "tenant-b" {
+		t.Fatalf("CampaignByTrace(%s) = %+v, %v", b.Trace, got, ok)
+	}
+	if _, ok := CampaignByTrace("no-such-trace"); ok {
+		t.Fatal("CampaignByTrace invented a campaign")
+	}
+}
+
+func TestSinceTraceScopesPerCampaign(t *testing.T) {
+	l := NewEventLog(64)
+	for i := 0; i < 4; i++ {
+		l.EmitTrace("trace-a", EvJobAcked, A("i", i))
+		l.EmitTrace("trace-b", EvJobNacked, A("i", i))
+	}
+	a := l.SinceTrace("trace-a", 0)
+	if len(a) != 4 {
+		t.Fatalf("SinceTrace(trace-a) = %d events, want 4", len(a))
+	}
+	for i, ev := range a {
+		if ev.Trace != "trace-a" || ev.Kind != EvJobAcked {
+			t.Fatalf("event %d leaked from another campaign: %+v", i, ev)
+		}
+		if i > 0 && a[i-1].Seq >= ev.Seq {
+			t.Fatalf("SinceTrace not strictly ascending at %d", i)
+		}
+	}
+	// The cursor is the process-wide sequence number, so paging past the
+	// last trace-a event yields nothing even though trace-b kept emitting.
+	if got := l.SinceTrace("trace-a", a[3].Seq); len(got) != 0 {
+		t.Fatalf("cursor page returned %d events, want 0", len(got))
+	}
+	if got := l.SinceTrace("trace-c", 0); len(got) != 0 {
+		t.Fatalf("unknown trace returned %d events", len(got))
+	}
+}
+
 func TestNewTraceIDUnique(t *testing.T) {
 	seen := make(map[string]bool)
 	for i := 0; i < 100; i++ {

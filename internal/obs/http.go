@@ -31,7 +31,17 @@ type EventsPage struct {
 
 // EventsSince builds the /events page for the process-wide flight recorder.
 func EventsSince(since uint64) EventsPage {
-	evs := Events.Since(since)
+	return pageOf(since, Events.Since(since))
+}
+
+// EventsSinceTrace builds an /events page restricted to one campaign's
+// trace. The cursor discipline is the same as EventsSince: Next is the
+// last matching event's process-wide sequence number.
+func EventsSinceTrace(trace string, since uint64) EventsPage {
+	return pageOf(since, Events.SinceTrace(trace, since))
+}
+
+func pageOf(since uint64, evs []Event) EventsPage {
 	next := since
 	if n := len(evs); n > 0 {
 		next = evs[n-1].Seq
@@ -151,7 +161,16 @@ func StartHTTP(addr string) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}}
-	go func() { _ = s.srv.Serve(ln) }()
+	go func() {
+		// Serve only returns on a fatal accept error (or deliberate
+		// shutdown). Swallowing it silently leaves the process believing it
+		// has an introspection endpoint it no longer has, so the failure is
+		// surfaced on the diagnostic log and counted.
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			C(MObsServeErrors).Inc()
+			Diag.Printf("obs: introspection server on %s stopped: %v", ln.Addr(), err)
+		}
+	}()
 	return s, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestHandlerEndpoints(t *testing.T) {
@@ -75,6 +76,65 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if code, _ = get("/nope"); code != http.StatusNotFound {
 		t.Errorf("/nope status = %d, want 404", code)
+	}
+}
+
+func TestStartHTTPServeErrorSurfaced(t *testing.T) {
+	s, err := StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the listener out from under the server — the accept loop dies
+	// with a real error (not ErrServerClosed), which must be counted
+	// rather than silently discarded.
+	before := C(MObsServeErrors).Value()
+	_ = s.ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for C(MObsServeErrors).Value() == before {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never incremented after the listener died", MObsServeErrors)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = s.Close()
+
+	// A graceful Close is not an error: the counter must not move.
+	s2, err := StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = C(MObsServeErrors).Value()
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := C(MObsServeErrors).Value(); got != before {
+		t.Fatalf("graceful Close bumped %s from %d to %d", MObsServeErrors, before, got)
+	}
+}
+
+func TestEventsSinceTracePage(t *testing.T) {
+	trace := NewTraceID()
+	base := Events.Seq()
+	for i := 0; i < 3; i++ {
+		EmitTrace(trace, EvJobLeased, A("i", i))
+		Emit(EvCoverNew, A("i", i)) // someone else's noise
+	}
+	page := EventsSinceTrace(trace, base)
+	if len(page.Events) != 3 {
+		t.Fatalf("page holds %d events, want 3", len(page.Events))
+	}
+	for _, ev := range page.Events {
+		if ev.Trace != trace {
+			t.Fatalf("foreign event in trace page: %+v", ev)
+		}
+	}
+	if page.Next != page.Events[2].Seq {
+		t.Fatalf("Next = %d, want %d", page.Next, page.Events[2].Seq)
+	}
+	if again := EventsSinceTrace(trace, page.Next); len(again.Events) != 0 || again.Next != page.Next {
+		t.Fatalf("cursor page = %d events next=%d, want 0 next=%d",
+			len(again.Events), again.Next, page.Next)
 	}
 }
 

@@ -127,7 +127,27 @@ const (
 
 	// Worker-process health (cmd/sbexec).
 	MWorkerPoisoned = "worker.poisoned" // counter: jobs nacked as unprocessable by a worker
+
+	// Introspection-server health.
+	MObsServeErrors = "obs.http.serve_errors" // counter: introspection listeners that failed while serving
 )
+
+// Scope prefixes metric names, giving one component — or one campaign in
+// a multi-tenant server — its own namespace inside the shared registry.
+type Scope string
+
+// CampaignScope returns the metric namespace for one campaign, e.g.
+// CampaignScope("c1").C("execs") resolves "campaign.c1.execs".
+func CampaignScope(id string) Scope { return Scope("campaign." + id) }
+
+// C resolves a scoped counter.
+func (s Scope) C(name string) *Counter { return C(string(s) + "." + name) }
+
+// G resolves a scoped gauge.
+func (s Scope) G(name string) *Gauge { return G(string(s) + "." + name) }
+
+// H resolves a scoped histogram.
+func (s Scope) H(name string) *Histogram { return H(string(s) + "." + name) }
 
 // enabled gates every bump and span; on by default.
 var enabled atomic.Bool

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,11 @@ type wireReq struct {
 	Lease  uint64          `json:"lease,omitempty"`
 	Ms     int64           `json:"ms,omitempty"`     // extend: requested lease TTL
 	Reason string          `json:"reason,omitempty"` // nack: failure description
+	// Queue addresses one named queue on a multi-queue server (see
+	// ServeRegistry); empty targets the server's default queue. Like Job's
+	// "trace", this stays within v2: older peers never set it and servers
+	// without a registry reject it loudly.
+	Queue string `json:"queue,omitempty"`
 }
 
 type wireResp struct {
@@ -130,9 +136,15 @@ type ServerOptions struct {
 	IdleTimeout time.Duration // per-connection read deadline (default DefaultIdleTimeout; <0 disables)
 }
 
-// Server exposes a Queue over TCP.
+// Server exposes a Queue — or a whole Registry of named queues — over one
+// TCP listener. Requests carrying a "queue" name are routed to that
+// registry queue; requests without one go to the default queue Q.
 type Server struct {
 	Q *Queue
+	// Reg, when set, serves named queues alongside (or instead of) Q: a
+	// request's "queue" field selects the registry queue, and unknown
+	// names are answered with ErrUnknownQueue.
+	Reg *Registry
 	// MaxFrame and IdleTimeout may be set before serving traffic; zero
 	// values use the defaults.
 	MaxFrame    int
@@ -154,14 +166,51 @@ func Serve(q *Queue, addr string) (*Server, error) {
 
 // ServeOpts starts listening on addr with explicit transport limits.
 func ServeOpts(q *Queue, addr string, o ServerOptions) (*Server, error) {
+	return serve(q, nil, addr, o)
+}
+
+// ServeRegistry starts one listener serving every named queue in reg —
+// the control plane's multi-tenant transport. Requests must carry a
+// "queue" name (there is no default queue).
+func ServeRegistry(reg *Registry, addr string, o ServerOptions) (*Server, error) {
+	return serve(nil, reg, addr, o)
+}
+
+func serve(q *Queue, reg *Registry, addr string, o ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("queue: listen: %w", err)
 	}
-	s := &Server{Q: q, MaxFrame: o.MaxFrame, IdleTimeout: o.IdleTimeout, ln: ln}
+	s := &Server{Q: q, Reg: reg, MaxFrame: o.MaxFrame, IdleTimeout: o.IdleTimeout, ln: ln}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// queueFor resolves the queue a request addresses: the named registry
+// queue when a name is given, the default queue otherwise.
+func (s *Server) queueFor(name string) (*Queue, error) {
+	if name == "" {
+		if s.Q == nil {
+			return nil, fmt.Errorf("%w: no default queue on this server (name one of %v)", ErrUnknownQueue, s.names())
+		}
+		return s.Q, nil
+	}
+	if s.Reg == nil {
+		return nil, fmt.Errorf("%w %q: server has no queue registry", ErrUnknownQueue, name)
+	}
+	q := s.Reg.Get(name)
+	if q == nil {
+		return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknownQueue, name, s.names())
+	}
+	return q, nil
+}
+
+func (s *Server) names() []string {
+	if s.Reg == nil {
+		return nil
+	}
+	return s.Reg.Names()
 }
 
 // Addr returns the listener address.
@@ -275,10 +324,16 @@ func (s *Server) handle(conn net.Conn) {
 // serveOp dispatches one decoded request and writes exactly one response.
 func (s *Server) serveOp(enc *json.Encoder, req wireReq) {
 	fail := func(err error) { _ = enc.Encode(wireResp{V: ProtoVersion, OK: false, Err: err.Error()}) }
+	q, err := s.queueFor(req.Queue)
+	if err != nil {
+		mNetBadReq.Inc()
+		fail(err)
+		return
+	}
 	switch req.Op {
 	case "lease":
 		mNetLease.Inc()
-		ls, err := s.Q.TryLease()
+		ls, err := q.TryLease()
 		if err != nil {
 			fail(err)
 			return
@@ -287,7 +342,7 @@ func (s *Server) serveOp(enc *json.Encoder, req wireReq) {
 		if err != nil {
 			// Undeliverable on this transport; hand it back so it
 			// dead-letters instead of leaking as a leased job.
-			_ = s.Q.Nack(ls.ID, "encode: "+err.Error())
+			_ = q.Nack(ls.ID, "encode: "+err.Error())
 			fail(err)
 			return
 		}
@@ -295,21 +350,21 @@ func (s *Server) serveOp(enc *json.Encoder, req wireReq) {
 			Attempt: ls.Attempt, TTLMs: time.Until(ls.Deadline).Milliseconds()})
 	case "ack":
 		mNetAck.Inc()
-		if err := s.Q.Ack(req.Lease); err != nil {
+		if err := q.Ack(req.Lease); err != nil {
 			fail(err)
 			return
 		}
 		_ = enc.Encode(wireResp{V: ProtoVersion, OK: true})
 	case "nack":
 		mNetNack.Inc()
-		if err := s.Q.Nack(req.Lease, req.Reason); err != nil {
+		if err := q.Nack(req.Lease, req.Reason); err != nil {
 			fail(err)
 			return
 		}
 		_ = enc.Encode(wireResp{V: ProtoVersion, OK: true})
 	case "extend":
 		mNetExtend.Inc()
-		deadline, err := s.Q.Extend(req.Lease, time.Duration(req.Ms)*time.Millisecond)
+		deadline, err := q.Extend(req.Lease, time.Duration(req.Ms)*time.Millisecond)
 		if err != nil {
 			fail(err)
 			return
@@ -318,7 +373,7 @@ func (s *Server) serveOp(enc *json.Encoder, req wireReq) {
 			TTLMs: time.Until(deadline).Milliseconds()})
 	case "pop":
 		mNetPop.Inc()
-		job, err := s.Q.TryPop()
+		job, err := q.TryPop()
 		if err != nil {
 			fail(err)
 			return
@@ -336,7 +391,7 @@ func (s *Server) serveOp(enc *json.Encoder, req wireReq) {
 			fail(err)
 			return
 		}
-		if err := s.Q.Push(job); err != nil {
+		if err := q.Push(job); err != nil {
 			fail(err)
 			return
 		}
@@ -347,7 +402,7 @@ func (s *Server) serveOp(enc *json.Encoder, req wireReq) {
 			fail(errors.New("missing result"))
 			return
 		}
-		if err := s.Q.Report(*req.Result); err != nil {
+		if err := q.Report(*req.Result); err != nil {
 			fail(err)
 			return
 		}
@@ -400,6 +455,10 @@ type DialOptions struct {
 	// Dial overrides the transport (tests inject FlakyDialer here); nil
 	// uses plain TCP.
 	Dial func(addr string) (net.Conn, error)
+	// Queue binds every request to one named queue on a multi-queue
+	// server (see ServeRegistry); empty targets the server's default
+	// queue.
+	Queue string
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -482,6 +541,7 @@ func (c *Client) backoffLocked(attempt int) {
 // retrying on I/O errors.
 func (c *Client) roundTrip(req wireReq) (wireResp, error) {
 	req.V = ProtoVersion
+	req.Queue = c.opts.Queue
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return wireResp{}, err
@@ -542,6 +602,11 @@ func respError(resp wireResp) error {
 		return ErrClosed
 	case ErrUnknownLease.Error():
 		return ErrUnknownLease
+	}
+	// ErrUnknownQueue travels with the offending name and the server's
+	// known queues appended, so match on the prefix.
+	if strings.HasPrefix(resp.Err, ErrUnknownQueue.Error()) {
+		return fmt.Errorf("%w: %s", ErrUnknownQueue, strings.TrimPrefix(resp.Err, ErrUnknownQueue.Error()+" "))
 	}
 	return fmt.Errorf("queue: %s", resp.Err)
 }

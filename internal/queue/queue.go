@@ -335,25 +335,36 @@ func (q *Queue) reapExpired(now time.Time) {
 	for _, id := range expired {
 		l := q.leases[id]
 		delete(q.leases, id)
-		l.timeline = append(l.timeline, JobEvent{At: now, Attempt: l.attempt, What: "expired"})
+		l.timeline = appendEvent(l.timeline, JobEvent{At: now, Attempt: l.attempt, What: "expired"})
 		obs.EmitTrace(l.job.Trace, obs.EvJobExpired, obs.A("queue", q.opts.Name),
 			obs.A("job", l.job.ID), obs.A("attempt", l.attempt))
 		q.requeueLocked(l, "lease expired")
 	}
 }
 
+// appendEvent extends a timeline into a freshly sized clone. Timelines
+// branch: the same history can flow into both a dead-letter archive and a
+// requeued pending copy, so a plain append over shared spare capacity
+// would let a later attempt's event overwrite an already-archived one.
+// Cloning at every branch point keeps each holder's history private.
+func appendEvent(tl []JobEvent, ev JobEvent) []JobEvent {
+	out := make([]JobEvent, len(tl), len(tl)+1)
+	copy(out, tl)
+	return append(out, ev)
+}
+
 // requeueLocked returns a failed delivery to the pending list, or
 // dead-letters the job if its attempts are exhausted.
 func (q *Queue) requeueLocked(l *activeLease, reason string) {
 	if l.attempt >= q.opts.MaxAttempts {
-		tl := append(l.timeline, JobEvent{At: time.Now(), Attempt: l.attempt, What: "dead-lettered", Reason: reason})
+		tl := appendEvent(l.timeline, JobEvent{At: time.Now(), Attempt: l.attempt, What: "dead-lettered", Reason: reason})
 		q.dead = append(q.dead, DeadJob{Job: l.job, Attempts: l.attempt, Reason: reason, Timeline: tl})
 		mDead.Inc()
 		obs.EmitTrace(l.job.Trace, obs.EvJobDeadLetter, obs.A("queue", q.opts.Name),
 			obs.A("job", l.job.ID), obs.A("attempts", l.attempt), obs.A("reason", reason))
 		return
 	}
-	q.jobs = append(q.jobs, pendingJob{job: l.job, attempt: l.attempt, timeline: l.timeline})
+	q.jobs = append(q.jobs, pendingJob{job: l.job, attempt: l.attempt, timeline: append([]JobEvent(nil), l.timeline...)})
 	q.redelivered++
 	mRedeliver.Inc()
 	q.setDepthLocked()
@@ -371,7 +382,7 @@ func (q *Queue) leaseLocked() Lease {
 		attempt:  p.attempt + 1,
 		deadline: now.Add(q.opts.LeaseTimeout),
 		since:    now,
-		timeline: append(p.timeline, JobEvent{At: now, Attempt: p.attempt + 1, What: "leased"}),
+		timeline: appendEvent(p.timeline, JobEvent{At: now, Attempt: p.attempt + 1, What: "leased"}),
 	}
 	q.leases[q.nextLease] = l
 	mLease.Inc()
@@ -451,7 +462,7 @@ func (q *Queue) Nack(id uint64, reason string) error {
 	if reason == "" {
 		reason = "nacked"
 	}
-	l.timeline = append(l.timeline, JobEvent{At: time.Now(), Attempt: l.attempt, What: "nacked", Reason: reason})
+	l.timeline = appendEvent(l.timeline, JobEvent{At: time.Now(), Attempt: l.attempt, What: "nacked", Reason: reason})
 	obs.EmitTrace(l.job.Trace, obs.EvJobNacked, obs.A("queue", q.opts.Name),
 		obs.A("job", l.job.ID), obs.A("attempt", l.attempt), obs.A("reason", reason))
 	q.requeueLocked(l, reason)
@@ -528,11 +539,17 @@ func (q *Queue) Results() []JobResult {
 }
 
 // DeadLetters returns a copy of the dead-letter list: jobs that exhausted
-// their delivery attempts, with the reason for the final failure.
+// their delivery attempts, with the reason for the final failure. Timelines
+// are deep-copied, so a caller mutating a returned entry can never corrupt
+// the archived history.
 func (q *Queue) DeadLetters() []DeadJob {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return append([]DeadJob(nil), q.dead...)
+	out := append([]DeadJob(nil), q.dead...)
+	for i := range out {
+		out[i].Timeline = append([]JobEvent(nil), out[i].Timeline...)
+	}
+	return out
 }
 
 // Stats reports where every pushed job currently stands.

@@ -181,6 +181,65 @@ func TestPerOpLatencyHistograms(t *testing.T) {
 	}
 }
 
+func TestTimelineBranchesNeverAlias(t *testing.T) {
+	// Timelines branch at requeue and dead-letter: the same history flows
+	// into both the archived DeadJob and (on earlier attempts) a requeued
+	// pending copy. Built with a plain append over shared spare capacity,
+	// a later attempt's event could overwrite an archived one. Drive a
+	// job through nack -> redeliver -> dead-letter and assert the
+	// timeline captured earlier never changes underneath the caller.
+	q := NewWithOptions(Options{Name: "tl-alias", MaxAttempts: 2})
+	defer q.Close()
+	if err := q.Push(testJob(28)); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := q.TryLease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Nack(ls.ID, "first failure"); err != nil {
+		t.Fatal(err)
+	}
+	// Redelivery, then exhaustion.
+	ls, err = q.TryLease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Nack(ls.ID, "second failure"); err != nil {
+		t.Fatal(err)
+	}
+
+	dead := q.DeadLetters()
+	if len(dead) != 1 {
+		t.Fatalf("dead letters = %d, want 1", len(dead))
+	}
+	archived := dead[0].Timeline
+	snapshot := append([]JobEvent(nil), archived...)
+
+	// A caller appending to — or rewriting elements of — its returned
+	// copy must never reach the queue's archive.
+	_ = append(archived, JobEvent{What: "forged", Attempt: 9})
+	for i := range archived {
+		archived[i].What = "tampered"
+	}
+
+	fresh := q.DeadLetters()[0].Timeline
+	wantTimeline(t, fresh,
+		JobEvent{What: "pushed", Attempt: 0},
+		JobEvent{What: "leased", Attempt: 1},
+		JobEvent{What: "nacked", Attempt: 1, Reason: "first failure"},
+		JobEvent{What: "leased", Attempt: 2},
+		JobEvent{What: "nacked", Attempt: 2, Reason: "second failure"},
+		JobEvent{What: "dead-lettered", Attempt: 2, Reason: "second failure"},
+	)
+	for i := range fresh {
+		if fresh[i].What != snapshot[i].What {
+			t.Fatalf("archived timeline[%d] changed from %q to %q after caller mutation",
+				i, snapshot[i].What, fresh[i].What)
+		}
+	}
+}
+
 func TestStatsOldestLease(t *testing.T) {
 	q := NewWithOptions(Options{Name: "tl-oldest"})
 	defer q.Close()

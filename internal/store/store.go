@@ -79,6 +79,10 @@ const (
 	// self-contained, minimized, replayable artifact behind every
 	// crash-level finding's bundle digest.
 	KindRepro
+	// KindCampaign is a canonical JSON campaign manifest (core.CampaignSpec):
+	// the durable submission record a control-plane server enumerates on
+	// restart to resume every in-flight campaign.
+	KindCampaign
 )
 
 // String names the kind for paths and diagnostics.
@@ -102,6 +106,8 @@ func (k Kind) String() string {
 		return "feedback"
 	case KindRepro:
 		return "repro"
+	case KindCampaign:
+		return "campaign"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }

@@ -194,6 +194,7 @@ const (
 	KindReport   = store.KindReport
 	KindSeries   = store.KindSeries
 	KindRepro    = store.KindRepro
+	KindCampaign = store.KindCampaign
 )
 
 // OpenStore opens (creating if needed) an artifact store rooted at dir.
@@ -280,6 +281,49 @@ func CoverageSeries() []ObsSample { return obs.DefaultSeries.Samples() }
 // CurrentCampaign returns the process-wide campaign identity, or nil before
 // any pipeline started one.
 func CurrentCampaign() *ObsCampaign { return obs.CurrentCampaign() }
+
+// Campaign control plane (cmd/sbd): long-lived multi-tenant campaign
+// hosting. Each campaign is identified by the digest of its canonical
+// manifest (idempotent submission), shards its concurrent tests across a
+// named per-campaign queue, persists through the artifact store for
+// byte-identical restart resume, and shares execution fairly with every
+// other live campaign through a FIFO turn scheduler.
+type (
+	// CampaignSpec is the JSON campaign submission: kernel version, seed,
+	// budgets, and generation method.
+	CampaignSpec = core.CampaignSpec
+	// Campaign is one running (or finished) campaign handle.
+	Campaign = core.Campaign
+	// CampaignEnv is the shared infrastructure campaigns run in: state
+	// dir, queue registry, wire address, and fair scheduler.
+	CampaignEnv = core.CampaignEnv
+	// CampaignStatus is a live point-in-time campaign summary (the
+	// GET /campaigns element).
+	CampaignStatus = core.CampaignStatus
+	// TurnScheduler grants execution turns FIFO across campaigns.
+	TurnScheduler = core.TurnScheduler
+	// QueueRegistry serves many named job queues on one TCP listener.
+	QueueRegistry = queue.Registry
+)
+
+// StartCampaign validates, persists, and launches a campaign in env.
+func StartCampaign(spec CampaignSpec, env CampaignEnv) (*Campaign, error) {
+	return core.StartCampaign(spec, env)
+}
+
+// LoadCampaignSpecs enumerates every campaign manifest persisted under
+// stateDir — the restart-resume inventory.
+func LoadCampaignSpecs(stateDir string) ([]CampaignSpec, error) {
+	return core.LoadCampaignSpecs(stateDir)
+}
+
+// NewTurnScheduler returns a FIFO fair scheduler allowing slots campaigns
+// to execute concurrently.
+func NewTurnScheduler(slots int) *TurnScheduler { return core.NewTurnScheduler(slots) }
+
+// NewQueueRegistry returns a registry that mints named queues on demand,
+// each cloning the template options.
+func NewQueueRegistry(template QueueOptions) *QueueRegistry { return queue.NewRegistry(template) }
 
 // Exploration modes for the Explorer.
 const (
